@@ -1,0 +1,91 @@
+"""Ablations of the elastic design choices (DESIGN.md section 5).
+
+Not figures from the paper — these probe the design arguments it makes:
+incremental conversion vs. wholesale compaction (section 2's hybrid
+indexes), the choice of compact representation, and threshold hysteresis
+(section 4's oscillation prevention).
+"""
+
+from repro.bench import ablation
+
+from conftest import run_once, scaled
+
+
+def test_policy_ablation(benchmark, show):
+    result = run_once(benchmark, ablation.run_policies,
+                      n_items=scaled(6_000))
+    show(result)
+    data = {s.name: s.ys for s in result.series}
+    MB, MEAN, WORST = 0, 1, 2
+    # Eager bulk compaction reaches similar space...
+    assert abs(data["eager"][MB] - data["paper"][MB]) / data["paper"][MB] < 0.25
+    # ...but pays a giant single-operation pause (the section-2 argument
+    # for incremental, per-node conversion).
+    assert data["eager"][WORST] > 10 * data["paper"][WORST]
+    # Never compacting keeps STX-like (largest) space and cheapest inserts.
+    assert data["never"][MB] > 1.5 * data["paper"][MB]
+    assert data["never"][MEAN] < data["paper"][MEAN]
+
+
+def test_representation_ablation(benchmark, show):
+    result = run_once(benchmark, ablation.run_representations,
+                      n_items=scaled(6_000))
+    show(result)
+    data = {s.name: s.ys for s in result.series}
+    MB, LOOKUP, INSERT = 0, 1, 2
+    # SubTrie leaves cost more space than SeqTree leaves in the same
+    # elastic tree; throughputs stay in the same ballpark.
+    assert data["subtrie"][MB] > data["seqtree"][MB]
+    for rep in ("subtrie", "seqtrie"):
+        assert 0.7 < data[rep][LOOKUP] / data["seqtree"][LOOKUP] < 1.3
+        assert 0.7 < data[rep][INSERT] / data["seqtree"][INSERT] < 1.3
+
+
+def test_host_generality_ablation(benchmark, show):
+    result = run_once(benchmark, ablation.run_hosts, n_items=scaled(5_000))
+    show(result)
+    data = {s.name: s.ys for s in result.series}
+    MB, RIGID_MB, LOOKUP, CONVERSIONS = 0, 1, 2, 3
+    # Every host shrinks well below its rigid twin and keeps answering.
+    for host in ("btree", "bwtree", "skiplist"):
+        assert data[host][MB] < 0.65 * data[host][RIGID_MB], host
+        assert data[host][LOOKUP] > 0, host
+        assert data[host][CONVERSIONS] > 0, host
+
+
+def test_scan_length_ablation(benchmark, show):
+    result = run_once(benchmark, ablation.run_scan_lengths,
+                      n_items=scaled(6_000))
+    show(result)
+    stx = result.get("stx")
+    seqtree = result.get("seqtree128")
+    hot = result.get("hot")
+    # Point-ish queries: small gap.  Long scans: STX pulls far ahead of
+    # the indirect-key indexes (the section 2 argument).
+    assert stx[0] / hot[0] < 1.6
+    assert stx[-1] / hot[-1] > 1.6
+    assert stx[-1] / seqtree[-1] > 1.3
+    # The gap is monotone-ish in scan length.
+    assert stx[-1] / hot[-1] > stx[1] / hot[1]
+
+
+def test_cold_policy_ablation(benchmark, show):
+    """The paper's future-work access-aware policy: hot leaves stay
+    standard, hot scans run faster, space stays comparable."""
+    result = run_once(benchmark, ablation.run_cold_policy,
+                      n_items=scaled(7_000))
+    show(result)
+    data = {s.name: s.ys for s in result.series}
+    MB, SCAN, STD_FRACTION = 0, 1, 2
+    assert data["cold-first"][STD_FRACTION] > data["paper"][STD_FRACTION] + 0.2
+    assert data["cold-first"][SCAN] > 1.1 * data["paper"][SCAN]
+    assert data["cold-first"][MB] < 1.35 * data["paper"][MB]
+
+
+def test_hysteresis_ablation(benchmark, show):
+    result = run_once(benchmark, ablation.run_hysteresis,
+                      n_items=scaled(4_000))
+    show(result)
+    transitions = dict(zip(result.xs, result.get("state transitions")))
+    # A near-zero gap flaps; the paper's wide gap stays calm.
+    assert transitions[0.895] > 2 * transitions[0.75]

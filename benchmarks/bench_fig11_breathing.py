@@ -1,0 +1,48 @@
+"""Figure 11: the breathing-parameter sweep (sections 5.4, 6.4).
+
+Shape claims: breathing saves ~20-30% of leaf space at capacities >= 64;
+small slack values often coincide because of allocator size classes;
+search throughput barely degrades; insert throughput pays for the
+reallocation copies, increasingly so as the slack shrinks (~10% at the
+paper's chosen s = 4).
+"""
+
+from repro.bench import fig11
+
+from conftest import run_once, scaled
+
+SLOTS = (16, 64, 128, 256)
+SLACKS = (None, 8, 4, 2, 1)
+
+
+def test_fig11_breathing(benchmark, show):
+    result = run_once(
+        benchmark, fig11.run, n=scaled(6_000), leaf_slots=SLOTS,
+        slacks=SLACKS,
+    )
+    show(result)
+
+    def series(panel, slack):
+        label = "off" if slack is None else f"s={slack}"
+        return dict(zip(SLOTS, result.get(f"{panel}[{label}]")))
+
+    # Space: s=4 saves 15-35% at capacities >= 64.
+    for slots in (64, 128, 256):
+        saving = 1.0 - series("space", 4)[slots]
+        assert 0.15 < saving < 0.40, (slots, saving)
+    # Small slacks coincide under size-class rounding at larger leaves.
+    assert series("space", 2)[128] == series("space", 4)[128]
+    assert series("space", 1)[128] == series("space", 2)[128]
+    # Search barely degrades (one extra dereference).
+    for slots in SLOTS:
+        ratio = series("search", 4)[slots] / result.get("search[off]")[
+            SLOTS.index(slots)
+        ]
+        assert ratio > 0.85, (slots, ratio)
+    # Inserts pay: monotone in the slack, ~5-20% at s=4.
+    for slots in (64, 128):
+        off = result.get("insert[off]")[SLOTS.index(slots)]
+        s4 = series("insert", 4)[slots]
+        s1 = series("insert", 1)[slots]
+        assert s1 < s4 < off, (slots, s1, s4, off)
+        assert 0.03 < 1.0 - s4 / off < 0.25, (slots, 1.0 - s4 / off)

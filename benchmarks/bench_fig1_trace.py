@@ -1,0 +1,16 @@
+"""Figure 1: daily data-size variability of the cloud-log workload."""
+
+from repro.bench import fig1
+
+from conftest import run_once
+
+
+def test_fig1_daily_volume_spikes(benchmark, show):
+    result = run_once(benchmark, fig1.run, days=90)
+    show(result)
+    relative = result.get("size/average")
+    assert len(relative) == 90
+    # Paper: many days at 1.5x the average; some days at 2x-3.5x.
+    assert sum(1 for r in relative if r > 1.5) >= 3
+    assert 2.0 <= max(relative) <= 4.5
+    assert abs(sum(relative) / len(relative) - 1.0) < 1e-9

@@ -1,0 +1,72 @@
+"""Figure 5: elastic B+-tree operation trade-offs during grow/shrink.
+
+Shape claims reproduced (section 6.1):
+
+* 5a — STX scans beat HOT everywhere; the elastic tree matches STX
+  before shrinking, degrades gracefully towards (slightly below)
+  SeqTree128 under maximal pressure, and recovers during deletion.
+* 5b — STX memory grows linearly; the elastic tree's size stays
+  relatively flat past the shrink trigger, landing near HOT (~25% above).
+* 5c/5d — lookups/inserts match STX until shrinking starts, then trend
+  towards SeqTree128.
+* 5e — SeqTree128 removes are 40-45% below STX.
+"""
+
+from repro.bench import fig5
+
+from conftest import run_once, scaled
+
+INDEXES = ("stx", "elastic", "seqtree128", "hot")
+
+
+def test_fig5_tradeoffs(benchmark, show):
+    result = run_once(
+        benchmark, fig5.run, n_items=scaled(16_000), indexes=INDEXES
+    )
+    show(result)
+    chunks = 10
+    peak = chunks - 1  # checkpoint at maximum item count
+
+    mem = {n: result.get(f"mem_mb[{n}]") for n in INDEXES}
+    scan = {n: result.get(f"scan[{n}]") for n in INDEXES}
+    lookup = {n: result.get(f"lookup[{n}]") for n in INDEXES}
+    insert = {n: result.get(f"insert[{n}]") for n in INDEXES}
+    remove = {n: result.get(f"remove[{n}]") for n in INDEXES}
+
+    # --- 5b: memory -----------------------------------------------------
+    assert mem["stx"][peak] > 1.8 * mem["elastic"][peak]
+    # Elastic size stays relatively flat from the trigger (mid-insert) on.
+    assert mem["elastic"][peak] < 1.35 * mem["elastic"][chunks // 2]
+    # HOT and SeqTree128 are ~2.5x smaller than STX at peak.
+    assert 1.9 < mem["stx"][peak] / mem["hot"][peak] < 3.8
+    assert 1.9 < mem["stx"][peak] / mem["seqtree128"][peak] < 3.8
+    # Elastic peak is a bit above HOT (paper: ~25% more).
+    assert 1.0 < mem["elastic"][peak] / mem["hot"][peak] < 1.8
+
+    # --- 5a: scans -------------------------------------------------------
+    for i in range(2 * chunks - 1):
+        assert scan["stx"][i] > scan["hot"][i], f"checkpoint {i}"
+    # Identical to STX before the trigger; degraded at peak pressure.
+    assert abs(scan["elastic"][1] - scan["stx"][1]) / scan["stx"][1] < 0.02
+    assert scan["elastic"][peak] < 0.85 * scan["stx"][peak]
+    # Under maximal pressure, at or slightly below SeqTree128 (which has
+    # only large compact leaves and hence fewer leaf crossings).
+    assert scan["elastic"][peak] < 1.1 * scan["seqtree128"][peak]
+
+    # --- 5c: lookups ------------------------------------------------------
+    assert abs(lookup["elastic"][1] - lookup["stx"][1]) / lookup["stx"][1] < 0.02
+    assert lookup["elastic"][peak] < lookup["stx"][peak]
+    # SeqTree128 lookups land 25-45% below HOT's (paper: 30-35%).
+    gap = 1.0 - lookup["seqtree128"][peak] / lookup["hot"][peak]
+    assert 0.2 < gap < 0.5, gap
+
+    # --- 5d: inserts -------------------------------------------------------
+    assert abs(insert["elastic"][1] - insert["stx"][1]) / insert["stx"][1] < 0.02
+    assert insert["elastic"][peak] < insert["stx"][peak]
+    assert insert["elastic"][peak] >= 0.9 * insert["seqtree128"][peak]
+
+    # --- 5e: removes ---------------------------------------------------------
+    first_del = chunks  # first delete-phase checkpoint
+    drop = 1.0 - remove["seqtree128"][first_del] / remove["stx"][first_del]
+    assert 0.3 < drop < 0.6, drop  # paper: 40-45%
+    assert remove["elastic"][first_del] < remove["stx"][first_del]

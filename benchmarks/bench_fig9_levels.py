@@ -1,0 +1,37 @@
+"""Figure 9: SeqTree BlindiTree-levels sweep (section 6.4).
+
+Shape claims: search throughput rises with tree levels, dramatically so
+for large leaf capacities; insert throughput peaks at a small interior
+level for large capacities (maintenance costs eat the gains) and level 0
+suffices for small capacities.
+"""
+
+from repro.bench import fig9
+
+from conftest import run_once, scaled
+
+SLOTS = (32, 128, 512)
+
+
+def test_fig9_tree_levels(benchmark, show):
+    result = run_once(
+        benchmark, fig9.run, n=scaled(6_000), leaf_slots=SLOTS, max_level=7
+    )
+    show(result)
+
+    search_512 = result.get("search[slots=512]")
+    insert_512 = result.get("insert[slots=512]")
+    search_32 = result.get("search[slots=32]")
+
+    # Levels shrink the sequential scan: searches at 512 slots gain a lot.
+    assert search_512[5] > 1.8 * search_512[0]
+    assert search_512[2] > search_512[0]
+    # For 512 slots the insert peak is interior (paper: level 3).
+    valid = [y for y in insert_512 if y == y]  # drop NaN padding
+    peak_level = insert_512.index(max(valid))
+    assert 1 <= peak_level <= 6, peak_level
+    assert max(valid) > insert_512[0]
+    # Small capacities barely benefit (paper: gains appear as slots grow).
+    gain_32 = max(y for y in search_32 if y == y) / search_32[0]
+    gain_512 = max(y for y in search_512 if y == y) / search_512[0]
+    assert gain_512 > 2 * gain_32

@@ -1,0 +1,30 @@
+"""Tail-latency analysis: the incremental-compaction argument.
+
+Not a paper figure — quantifies section 2's argument against wholesale
+compaction: the elastic tree's insert latency distribution stays close
+to STX's through high percentiles (conversions are small and amortized),
+while eager bulk compaction concentrates the same work into one giant
+pause.
+"""
+
+from repro.bench import latency
+
+from conftest import run_once, scaled
+
+
+def test_insert_latency_tails(benchmark, show):
+    result = run_once(benchmark, latency.run, n_items=scaled(8_000))
+    show(result)
+    stx = result.get("stx")
+    elastic = result.get("elastic")
+    eager = result.get("elastic-eager")
+    P50, P90, P99, P999, MAX = range(5)
+    # Elastic p50/p90 stay within a small factor of STX's.
+    assert elastic[P50] < 2.0 * stx[P50]
+    assert elastic[P90] < 2.5 * stx[P90]
+    # The elastic maximum (a 128-leaf conversion) is bounded...
+    assert elastic[MAX] < 60 * elastic[P50]
+    # ...while the eager policy's maximum is the bulk-compaction pause,
+    # orders of magnitude beyond its own p99.
+    assert eager[MAX] > 50 * eager[P99]
+    assert eager[MAX] > 5 * elastic[MAX]

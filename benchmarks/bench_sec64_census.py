@@ -1,0 +1,30 @@
+"""Section 6.4 census: when do capacity-128 leaves become frequent?
+
+"at 4X items 10% of the leaves in the elastic index are SeqTree nodes
+with capacity of 128, and that number reaches 37% at 5X items" (X = the
+item count a plain B+-tree holds within the size bound).
+"""
+
+from repro.bench import sec64
+
+from conftest import run_once, scaled
+
+
+def test_sec64_capacity128_census(benchmark, show):
+    result = run_once(
+        benchmark, sec64.run, x_items=scaled(4_000),
+        multiples=(1, 2, 3, 4, 5),
+    )
+    show(result)
+    cap128 = dict(zip(result.xs, result.get("cap-128 leaf fraction")))
+    compact = dict(zip(result.xs, result.get("compact leaf fraction")))
+    # Rare until 3X...
+    assert cap128[1] == 0.0
+    assert cap128[2] < 0.02
+    assert cap128[3] < 0.08
+    # ...then ~10% at 4X and substantially more at 5X (paper: 37%).
+    assert 0.05 < cap128[4] < 0.25
+    assert 0.15 < cap128[5] < 0.5
+    assert cap128[5] > cap128[4] > cap128[3]
+    # Meanwhile nearly everything is compact well before that.
+    assert compact[3] > 0.9

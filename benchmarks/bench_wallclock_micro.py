@@ -1,0 +1,100 @@
+"""Wall-clock microbenchmarks of the core index operations.
+
+These time the actual Python implementations with pytest-benchmark.
+Absolute numbers are interpreter-bound and NOT comparable to the paper
+(DESIGN.md); they exist to track regressions in this codebase and to
+sanity-check that the structures behave algorithmically (e.g. elastic
+lookups stay within a small factor of STX lookups).
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import make_u64_environment
+from repro.keys.encoding import encode_u64
+
+N = 5_000
+PROBES = 500
+
+
+def _filled_env(name, **kwargs):
+    env = make_u64_environment(name, **kwargs)
+    env.cost.enabled = False  # time the structures, not the accounting
+    rng = random.Random(99)
+    values = rng.sample(range(1 << 56), N)
+    keys = []
+    for value in values:
+        tid = env.table.insert_row(value)
+        key = env.table.peek_key(tid)
+        keys.append(key)
+        env.index.insert(key, tid)
+    probes = [rng.choice(keys) for _ in range(PROBES)]
+    return env, keys, probes
+
+
+PARAMS = [
+    ("stx", {}),
+    ("seqtree128", {}),
+    ("hot", {}),
+    ("art", {}),
+]
+
+
+@pytest.mark.parametrize("name,kwargs", PARAMS, ids=[p[0] for p in PARAMS])
+def test_lookup_wallclock(benchmark, name, kwargs):
+    env, _, probes = _filled_env(name, **kwargs)
+
+    def lookups():
+        for key in probes:
+            env.index.lookup(key)
+
+    benchmark(lookups)
+    assert all(env.index.lookup(k) is not None for k in probes[:10])
+
+
+@pytest.mark.parametrize("name,kwargs", PARAMS, ids=[p[0] for p in PARAMS])
+def test_scan_wallclock(benchmark, name, kwargs):
+    env, _, probes = _filled_env(name, **kwargs)
+
+    def scans():
+        for key in probes[:100]:
+            env.index.scan(key, 15)
+
+    benchmark(scans)
+
+
+@pytest.mark.parametrize("name,kwargs", PARAMS, ids=[p[0] for p in PARAMS])
+def test_insert_wallclock(benchmark, name, kwargs):
+    rng = random.Random(7)
+
+    def setup():
+        env = make_u64_environment(name, **kwargs)
+        env.cost.enabled = False
+        pairs = []
+        for value in rng.sample(range(1 << 56), 2_000):
+            tid = env.table.insert_row(value)
+            pairs.append((env.table.peek_key(tid), tid))
+        return (env, pairs), {}
+
+    def inserts(env, pairs):
+        for key, tid in pairs:
+            env.index.insert(key, tid)
+
+    benchmark.pedantic(inserts, setup=setup, rounds=3)
+
+
+def test_elastic_lookup_wallclock(benchmark):
+    # An elastic tree under pressure: most leaves compact.
+    from repro.bench.harness import estimate_stx_bytes_per_key
+
+    rate = estimate_stx_bytes_per_key()
+    env, _, probes = _filled_env(
+        "elastic", size_bound_bytes=int(rate * N / 2 / 0.9)
+    )
+
+    def lookups():
+        for key in probes:
+            env.index.lookup(key)
+
+    benchmark(lookups)

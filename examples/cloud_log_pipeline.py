@@ -1,0 +1,91 @@
+"""The paper's motivating scenario: a sliding-window cloud-log pipeline.
+
+An MCAS-style in-memory store ingests each day's object-storage log and
+serves monitoring/analytics queries over the last WINDOW days; older
+data ages out.  Daily volumes vary wildly (Figure 1) — spike days would
+blow a fixed index budget, so the store uses an elastic B+-tree that
+temporarily shrinks itself instead of dropping the index or refusing
+ingest.
+
+Run:  python examples/cloud_log_pipeline.py
+"""
+
+from collections import deque
+
+from repro.bench.harness import build_index
+from repro.mcas.ado import IndexedTableADO
+from repro.mcas.store import MCASStore
+from repro.memory.cost_model import CostModel
+from repro.workloads.iotta import IottaTraceGenerator
+
+WINDOW_DAYS = 5
+BASE_ROWS_PER_DAY = 6_000
+DAYS = 20
+
+
+def main() -> None:
+    trace = IottaTraceGenerator(
+        base_rows_per_day=BASE_ROWS_PER_DAY,
+        days=DAYS,
+        spike_probability=0.15,
+        seed=1,
+    )
+    # Budget the index for a typical window plus modest over-provisioning
+    # — deliberately NOT for the worst-case spike.
+    typical_window_rows = WINDOW_DAYS * BASE_ROWS_PER_DAY
+    budget = int(typical_window_rows * 32 * 1.3)  # 1.3x dataset bytes
+
+    cost = CostModel()
+    store = MCASStore(
+        ado_factory=lambda c: IndexedTableADO(
+            lambda table, allocator, cm: build_index(
+                "elastic", table, allocator, cm, key_width=16,
+                size_bound_bytes=budget,
+            ),
+            c,
+        ),
+        cost_model=cost,
+    )
+    ado = store.partitions[0]
+
+    window = deque()  # (day, list of index keys)
+    print(
+        f"window {WINDOW_DAYS} days | index budget {budget / 1e6:.2f} MB "
+        f"(sized for typical days, not spikes)\n"
+    )
+    print(" day   rows  rel.vol   index MB  state      scan(1k) units")
+    for day in range(DAYS):
+        rows = list(trace.rows_for_day(day))
+        keys = []
+        for row in rows:
+            store.ingest(row)
+            keys.append(row.index_key())
+        window.append((day, keys))
+        # Age out days that left the window.
+        while len(window) > WINDOW_DAYS:
+            _, old_keys = window.popleft()
+            for key in old_keys:
+                store.evict(key)
+        # A monitoring query: scan 1000 recent entries.
+        with cost.measure() as delta:
+            store.scan(keys[0], 1000)
+        relative = trace.daily_relative_sizes()[day]
+        state = ado.index.pressure_state.value
+        flag = "  <-- spike" if relative > 1.8 else ""
+        print(
+            f"  {day:>2} {len(rows):>6}   {relative:5.2f}x "
+            f"{store.index_bytes / 1e6:9.3f}  {state:<9} "
+            f"{delta.weighted_cost():10.0f}{flag}"
+        )
+
+    stats = ado.index.controller.stats
+    print(
+        f"\nthe index absorbed spike days by converting "
+        f"{stats.conversions_to_compact} leaves (plus "
+        f"{stats.capacity_promotions} capacity promotions) and reverted "
+        f"{stats.reversions_to_standard} as data aged out."
+    )
+
+
+if __name__ == "__main__":
+    main()

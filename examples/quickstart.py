@@ -1,0 +1,85 @@
+"""Quickstart: an elastic B+-tree in front of a row table.
+
+Demonstrates the core API:
+
+* build a ``Table`` (rows addressed by tuple id, keys extracted from rows),
+* put an ``ElasticBPlusTree`` over it with a soft memory bound,
+* watch it shrink itself under memory pressure and expand back.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    CostModel,
+    ElasticBPlusTree,
+    ElasticConfig,
+    Table,
+    TrackingAllocator,
+)
+from repro.btree.stats import collect_stats
+from repro.keys.encoding import encode_u64
+
+
+def main() -> None:
+    # One shared cost account: index work and indirect key loads from
+    # the table land in the same ledger.
+    cost = CostModel()
+    allocator = TrackingAllocator(cost_model=cost)
+    table = Table(key_of_row=encode_u64, row_bytes=32, cost_model=cost)
+
+    # Soft bound of 200 KB: the index starts converting leaves to the
+    # compact SeqTree representation at 90% of it, and converts back
+    # once it drops below 75%.
+    config = ElasticConfig(size_bound_bytes=200_000)
+    index = ElasticBPlusTree(
+        table, config, allocator=allocator, cost_model=cost
+    )
+
+    rng = random.Random(7)
+    values = rng.sample(range(1 << 48), 40_000)
+
+    print("ingesting 40k rows under a 200 KB index budget...")
+    for i, value in enumerate(values, 1):
+        tid = table.insert_row(value)
+        index.insert(encode_u64(value), tid)
+        if i % 10_000 == 0:
+            stats = collect_stats(index)
+            print(
+                f"  {i:>6} rows | index {index.index_bytes / 1000:7.1f} KB"
+                f" | state {index.pressure_state.value:<9}"
+                f" | compact leaves {stats.compact_fraction:5.1%}"
+            )
+
+    # Point queries and scans work identically on compact leaves — keys
+    # are simply loaded from the table when needed.
+    probe = encode_u64(values[123])
+    print(f"\nlookup({values[123]}) -> row {table.row(index.lookup(probe))}")
+    window = index.scan(probe, 5)
+    print("scan of 5 keys:", [int.from_bytes(k, 'big') for k, _ in window])
+
+    print("\ndeleting 30k rows (aging out of the window)...")
+    for i, value in enumerate(values[:30_000], 1):
+        tid = index.remove(encode_u64(value))
+        table.delete_row(tid)
+        if i % 10_000 == 0:
+            stats = collect_stats(index)
+            print(
+                f"  {i:>6} gone | index {index.index_bytes / 1000:7.1f} KB"
+                f" | state {index.pressure_state.value:<9}"
+                f" | compact leaves {stats.compact_fraction:5.1%}"
+            )
+
+    stats = index.controller.stats
+    print(
+        f"\nelasticity actions: {stats.conversions_to_compact} conversions,"
+        f" {stats.capacity_promotions} promotions,"
+        f" {stats.capacity_stepdowns} stepdowns,"
+        f" {stats.reversions_to_standard} reversions"
+    )
+    print(f"total simulated cost: {cost.weighted_cost():,.0f} units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Compare indexes on YCSB workloads, the section 6.2 style evaluation.
+
+Runs workloads A (update-heavy), C (read-only) and E (scan-heavy) over
+STX, an elastic B+-tree, the all-compact SeqTree128, and HOT, printing
+throughput (operations per simulated cost unit) and memory.
+
+Run:  python examples/ycsb_comparison.py
+"""
+
+from repro.bench.harness import (
+    estimate_stx_bytes_per_key,
+    make_u64_environment,
+    measure,
+)
+from repro.workloads.ycsb import YCSB_CORE, YCSBRunner
+
+LOAD_N = 10_000
+TXN_N = 15_000
+WORKLOADS = ("A", "C", "E")
+INDEXES = ("stx", "elastic", "seqtree128", "hot")
+
+
+def make_env(name: str):
+    if name == "elastic":
+        bound = int(estimate_stx_bytes_per_key() * LOAD_N * 0.66 / 0.9)
+        return make_u64_environment(name, size_bound_bytes=bound)
+    return make_u64_environment(name)
+
+
+def main() -> None:
+    print(f"load {LOAD_N} u64 keys, then {TXN_N} txns per workload\n")
+    header = f"{'index':<12} {'load tput':>10} {'mem KB':>8} " + "".join(
+        f"{'wl ' + w:>10}" for w in WORKLOADS
+    )
+    print(header)
+    print("-" * len(header))
+    for name in INDEXES:
+        cells = []
+        load_tput = mem_kb = None
+        for workload in WORKLOADS:
+            env = make_env(name)
+            spec = YCSB_CORE[workload]
+            runner = YCSBRunner(
+                env.index, env.table, spec, request_dist="zipfian", seed=3
+            )
+            m_load = measure(env.cost, LOAD_N, lambda: runner.load(LOAD_N))
+            if load_tput is None:
+                load_tput = m_load.throughput
+                mem_kb = env.index.index_bytes / 1000
+            ops = TXN_N if workload != "E" else TXN_N // 4
+            m_txn = measure(env.cost, ops, lambda: runner.run(ops))
+            cells.append(m_txn.throughput)
+        row = f"{name:<12} {load_tput:>10.4f} {mem_kb:>8.1f} " + "".join(
+            f"{c:>10.4f}" for c in cells
+        )
+        print(row)
+    print(
+        "\nthroughput = ops per simulated cost unit (higher is better); "
+        "see DESIGN.md for the cost model."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Elastic Indexes — a reproduction of Hershcovitch et al., EDBT 2022.
+
+"Elastic Indexes: Dynamic Space vs. Query Efficiency Tuning for In-Memory
+Database Indexing."
+
+Public API highlights:
+
+* :class:`~repro.core.ElasticBPlusTree` — the paper's elastic B+-tree.
+* :class:`~repro.core.ElasticConfig` — soft size bound, thresholds,
+  compact representation, breathing.
+* :class:`~repro.btree.BPlusTree` — the STX-style baseline.
+* :mod:`repro.blindi` — SeqTrie / SeqTree / SubTrie blind tries.
+* :mod:`repro.baselines` — HOT, ART, skip list, Bw-tree, Masstree,
+  hybrid index comparators.
+* :mod:`repro.workloads` — YCSB, uniform/zipfian, IOTTA-like cloud-log
+  trace generators.
+* :mod:`repro.mcas` — the MCAS-style in-memory store substrate used by
+  the full-system experiments (section 6.3).
+* :mod:`repro.bench` — drivers that regenerate every figure and table of
+  the paper's evaluation.
+"""
+
+from repro.core import ElasticBPlusTree, ElasticConfig
+from repro.btree import BPlusTree
+from repro.table import Table
+from repro.memory import CostModel, TrackingAllocator, MemoryBudget, PressureState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ElasticBPlusTree",
+    "ElasticConfig",
+    "BPlusTree",
+    "Table",
+    "CostModel",
+    "TrackingAllocator",
+    "MemoryBudget",
+    "PressureState",
+    "__version__",
+]

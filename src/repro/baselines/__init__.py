@@ -1,0 +1,36 @@
+"""Baseline indexes the paper compares against (sections 6 and 7).
+
+All baselines implement the :class:`~repro.baselines.interface.OrderedIndex`
+protocol so the benchmark harness can drive them uniformly:
+
+* :class:`~repro.baselines.hot.HOTIndex` — simplified Height-Optimized
+  Trie [3]: Patricia trie with indirect key storage, packed into <=32-key
+  compound nodes for cost/space modelling.  The paper's main competitor.
+* :class:`~repro.baselines.art.ARTIndex` — Adaptive Radix Tree [16].
+* :class:`~repro.baselines.skiplist.SkipListIndex` — internal-key skip
+  list (dominated: more memory than STX, section 6.1).
+* :class:`~repro.baselines.bwtree.BwTreeIndex` — single-threaded Bw-tree
+  with delta chains and consolidation [31].
+* :class:`~repro.baselines.masstree.MasstreeIndex` — trie of B+-trees
+  over 8-byte key slices [19].
+* :class:`~repro.baselines.hybrid.HybridIndex` — two-stage hybrid index
+  [33], the section-2 comparison point for the elastic design.
+"""
+
+from repro.baselines.interface import OrderedIndex
+from repro.baselines.skiplist import SkipListIndex
+from repro.baselines.hot import HOTIndex
+from repro.baselines.art import ARTIndex
+from repro.baselines.bwtree import BwTreeIndex
+from repro.baselines.masstree import MasstreeIndex
+from repro.baselines.hybrid import HybridIndex
+
+__all__ = [
+    "OrderedIndex",
+    "SkipListIndex",
+    "HOTIndex",
+    "ARTIndex",
+    "BwTreeIndex",
+    "MasstreeIndex",
+    "HybridIndex",
+]

@@ -1,0 +1,246 @@
+"""Bw-tree baseline [18, 31] — delta chains over base nodes.
+
+The paper reports: "Bw-tree's space consumption is only slightly smaller
+than that of STX, but it performs worse" (section 6.1).  Both effects
+come from the same design: updates prepend *delta records* to a node's
+chain (found through a mapping table) instead of editing the node, so
+bases are occupancy-sized (slightly less space) but every search chases
+the delta chain before reaching the base (slower).  Chains are
+consolidated into a fresh base when they exceed a threshold.
+
+This single-threaded model mounts delta leaves onto the shared B+-tree
+substrate; the mapping-table indirection is charged per node in the
+space model and as one extra dependent access per leaf visit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.btree.leaves import LeafFullError, LeafNode, TID_BYTES, next_node_id
+from repro.btree.tree import BPlusTree
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+
+_BASE_HEADER = 24
+_DELTA_BYTES_FIXED = 24  # delta record header + chain pointer
+_MAPPING_ENTRY = 8
+_CONSOLIDATE_AT = 8
+
+
+class DeltaLeaf(LeafNode):
+    """A Bw-tree leaf: immutable base arrays plus a delta chain."""
+
+    is_compact = False
+
+    def __init__(
+        self,
+        key_width: int,
+        capacity: int,
+        allocator: TrackingAllocator,
+        cost_model: CostModel = NULL_COST_MODEL,
+        items: Optional[List[Tuple[bytes, int]]] = None,
+    ) -> None:
+        self.key_width = key_width
+        self._capacity = capacity
+        self.allocator = allocator
+        self.cost = cost_model
+        self.base_keys: List[bytes] = [k for k, _ in (items or [])]
+        self.base_tids: List[int] = [t for _, t in (items or [])]
+        #: Newest-first list of ("ins", key, tid) / ("del", key, None).
+        self.deltas: List[Tuple[str, bytes, Optional[int]]] = []
+        self.next_leaf: Optional[LeafNode] = None
+        self.prev_leaf: Optional[LeafNode] = None
+        self.node_id = next_node_id()
+        self._alive = True
+        self._charged = self.size_bytes
+        self.allocator.allocate(self._charged, "leaf.bwtree")
+
+    # ------------------------------------------------------------------
+    # Space model: base sized to content, deltas individually allocated
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        base = _BASE_HEADER + _MAPPING_ENTRY + len(self.base_keys) * (
+            self.key_width + TID_BYTES
+        )
+        deltas = len(self.deltas) * (_DELTA_BYTES_FIXED + self.key_width + TID_BYTES)
+        return base + deltas
+
+    def _recharge(self) -> None:
+        new_size = self.size_bytes
+        if new_size != self._charged:
+            self.allocator.resize(self._charged, new_size, "leaf.bwtree")
+            self._charged = new_size
+
+    # ------------------------------------------------------------------
+    # Merged view
+    # ------------------------------------------------------------------
+    def _merged(self) -> Tuple[List[bytes], List[int]]:
+        """Apply the delta chain to the base (newest delta wins)."""
+        keys = list(self.base_keys)
+        tids = list(self.base_tids)
+        for op, key, tid in reversed(self.deltas):  # oldest first
+            pos = bisect.bisect_left(keys, key)
+            present = pos < len(keys) and keys[pos] == key
+            if op == "ins":
+                if present:
+                    tids[pos] = tid  # replacement
+                else:
+                    keys.insert(pos, key)
+                    tids.insert(pos, tid)
+            else:
+                if present:
+                    del keys[pos]
+                    del tids[pos]
+        return keys, tids
+
+    def _consolidate(self) -> None:
+        """Fold the delta chain into a fresh base node."""
+        keys, tids = self._merged()
+        self.cost.allocs(1)
+        self.cost.copy_bytes(len(keys) * (self.key_width + TID_BYTES))
+        self.base_keys = keys
+        self.base_tids = tids
+        self.deltas = []
+        self._recharge()
+
+    def _chain_cost(self) -> None:
+        # Mapping-table indirection + one pointer chase per delta.
+        self.cost.rand_lines(1 + len(self.deltas))
+        self.cost.compares(len(self.deltas) + max(1, len(self.base_keys)).bit_length())
+        self.cost.branches(len(self.deltas) + 1)
+
+    # ------------------------------------------------------------------
+    # Leaf ADT
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        keys, _ = self._merged()
+        return len(keys)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def lookup(self, key: bytes) -> Optional[int]:
+        self._chain_cost()
+        for op, dkey, dtid in self.deltas:  # newest first
+            if dkey == key:
+                return dtid if op == "ins" else None
+        pos = bisect.bisect_left(self.base_keys, key)
+        if pos < len(self.base_keys) and self.base_keys[pos] == key:
+            return self.base_tids[pos]
+        return None
+
+    def upsert(self, key: bytes, tid: int) -> Optional[int]:
+        old = self.lookup(key)
+        if old is None and self.count >= self._capacity:
+            raise LeafFullError()
+        self.deltas.insert(0, ("ins", key, tid))
+        self.cost.allocs(1)
+        if len(self.deltas) > _CONSOLIDATE_AT:
+            self._consolidate()
+        else:
+            self._recharge()
+        return old
+
+    def remove(self, key: bytes) -> Optional[int]:
+        old = self.lookup(key)
+        if old is None:
+            return None
+        self.deltas.insert(0, ("del", key, None))
+        self.cost.allocs(1)
+        if len(self.deltas) > _CONSOLIDATE_AT:
+            self._consolidate()
+        else:
+            self._recharge()
+        return old
+
+    def first_key(self) -> bytes:
+        keys, _ = self._merged()
+        return keys[0]
+
+    def items(self) -> Iterator[Tuple[bytes, int]]:
+        self._chain_cost()
+        keys, tids = self._merged()
+        self.cost.touch_bytes_seq(len(keys) * (self.key_width + TID_BYTES))
+        return iter(list(zip(keys, tids)))
+
+    def iter_from(self, key: bytes) -> Iterator[Tuple[bytes, int]]:
+        self._chain_cost()
+        keys, tids = self._merged()
+        pos = bisect.bisect_left(keys, key)
+        return iter(list(zip(keys[pos:], tids[pos:])))
+
+    def take_first(self) -> Tuple[bytes, int]:
+        self._consolidate()
+        key, tid = self.base_keys.pop(0), self.base_tids.pop(0)
+        self._recharge()
+        return key, tid
+
+    def take_last(self) -> Tuple[bytes, int]:
+        self._consolidate()
+        key, tid = self.base_keys.pop(), self.base_tids.pop()
+        self._recharge()
+        return key, tid
+
+    def split(self, fraction: float = 0.5) -> Tuple["DeltaLeaf", bytes]:
+        self._consolidate()
+        mid = max(
+            1,
+            min(len(self.base_keys) - 1, int(len(self.base_keys) * fraction)),
+        )
+        right = DeltaLeaf(
+            self.key_width,
+            self._capacity,
+            self.allocator,
+            self.cost,
+            items=list(zip(self.base_keys[mid:], self.base_tids[mid:])),
+        )
+        del self.base_keys[mid:]
+        del self.base_tids[mid:]
+        self._recharge()
+        return right, right.base_keys[0]
+
+    def merge_from(self, right: LeafNode) -> None:
+        self._consolidate()
+        keys, tids = right.keys_and_tids()
+        if len(self.base_keys) + len(keys) > self._capacity:
+            raise ValueError("merge would overflow leaf")
+        self.base_keys.extend(keys)
+        self.base_tids.extend(tids)
+        self.cost.copy_bytes(len(keys) * (self.key_width + TID_BYTES))
+        self._recharge()
+
+    def keys_and_tids(self) -> Tuple[List[bytes], List[int]]:
+        return self._merged()
+
+    def destroy(self) -> None:
+        if self._alive:
+            self.allocator.free(self._charged, "leaf.bwtree")
+            self._alive = False
+
+
+class BwTreeIndex(BPlusTree):
+    """A B+-tree whose leaves are Bw-tree delta chains."""
+
+    def __init__(
+        self,
+        key_width: int,
+        leaf_capacity: int = 16,
+        inner_capacity: int = 16,
+        allocator: Optional[TrackingAllocator] = None,
+        cost_model: CostModel = NULL_COST_MODEL,
+    ) -> None:
+        super().__init__(
+            key_width=key_width,
+            leaf_capacity=leaf_capacity,
+            inner_capacity=inner_capacity,
+            allocator=allocator,
+            cost_model=cost_model,
+            leaf_factory=lambda tree: DeltaLeaf(
+                tree.key_width, tree.leaf_capacity, tree.allocator, tree.cost
+            ),
+        )

@@ -1,0 +1,39 @@
+"""The common ordered-index protocol used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class OrderedIndex(Protocol):
+    """An ordered secondary index mapping fixed-width keys to tuple ids.
+
+    Implemented by :class:`repro.btree.BPlusTree` (and its elastic and
+    all-compact variants) and every baseline in this package, so that
+    workload runners and benchmark drivers are index-agnostic.
+    """
+
+    def insert(self, key: bytes, tid: int) -> Optional[int]:
+        """Insert or replace; returns the replaced tuple id if any."""
+        ...
+
+    def lookup(self, key: bytes) -> Optional[int]:
+        """Point query."""
+        ...
+
+    def remove(self, key: bytes) -> Optional[int]:
+        """Delete; returns the removed tuple id if present."""
+        ...
+
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, int]]:
+        """Up to ``count`` (key, tid) pairs with key >= ``start_key``."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    @property
+    def index_bytes(self) -> int:
+        """Simulated memory footprint of the index structure."""
+        ...

@@ -1,0 +1,27 @@
+"""Benchmark harness: regenerates every figure and table of section 6.
+
+Each ``figN`` module exposes ``run(...) -> ExperimentResult`` producing
+the same rows/series the paper reports, computed from the deterministic
+cost model and byte-exact space accounting (see DESIGN.md for the
+substitution rationale).  ``python -m repro.bench`` runs them from the
+command line; the ``benchmarks/`` pytest suite runs them at reduced
+scale with shape assertions.
+"""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    Measurement,
+    Series,
+    build_index,
+    INDEX_BUILDERS,
+    make_u64_environment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Measurement",
+    "Series",
+    "build_index",
+    "INDEX_BUILDERS",
+    "make_u64_environment",
+]

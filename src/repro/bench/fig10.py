@@ -1,0 +1,54 @@
+"""Figure 10: SeqTree (levels = 2) vs. SubTrie across leaf capacities.
+
+Section 6.4: the SubTrie consumes more space, "peaking at 20% of space
+overhead for 512 leaf slots" (its extra left-subtree-size array needs 2
+bytes per entry past 256 slots), while SeqTree is almost always slightly
+faster below 128 slots and SubTrie wins at larger capacities with 64-bit
+keys (up to 40% faster searches at 512 slots).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.microbench import run_insert_search
+
+
+def run(
+    n: int = 8_000,
+    leaf_slots: Sequence[int] = (32, 64, 128, 256, 512),
+    seed: int = 10,
+) -> ExperimentResult:
+    """Space and throughput of STX-SubTrie normalized to STX-SeqTree."""
+    result = ExperimentResult(
+        "fig10",
+        "SubTrie relative to SeqTree (levels=2, breathing off)",
+        x_label="leafSlots",
+    )
+    result.xs = [float(s) for s in leaf_slots]
+    space_ratio, search_ratio, insert_ratio = [], [], []
+    for slots in leaf_slots:
+        seqtree = run_insert_search(
+            "stx-seqtree", n=n, capacity=slots, levels=2, breathing=None,
+            seed=seed,
+        )
+        subtrie = run_insert_search(
+            "stx-subtrie", n=n, capacity=slots, breathing=None, seed=seed
+        )
+        space_ratio.append(subtrie.leaf_bytes / seqtree.leaf_bytes)
+        search_ratio.append(
+            subtrie.search_throughput / seqtree.search_throughput
+        )
+        insert_ratio.append(
+            subtrie.insert_throughput / seqtree.insert_throughput
+        )
+    result.add_series("space subtrie/seqtree", space_ratio)
+    result.add_series("search tput subtrie/seqtree", search_ratio)
+    result.add_series("insert tput subtrie/seqtree", insert_ratio)
+    result.add_row(
+        "paper",
+        "SubTrie space overhead grows to ~20% at 512 slots; SeqTree "
+        "slightly faster at <=128 slots, SubTrie up to 40% faster beyond",
+    )
+    return result

@@ -1,0 +1,54 @@
+"""Figure 9: SeqTree tree-levels sweep (section 6.4).
+
+For each leaf capacity, up to log2(leafSlots) - 1 BlindiTree levels are
+available.  The paper finds insert throughput peaks at level 2 (level 3
+for 512 slots) — deeper trees cost more maintenance per insert — while
+search throughput keeps improving up to level 5-6 because the levels
+shrink the sequential scan range.  Breathing is disabled here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.microbench import run_insert_search
+
+
+def run(
+    n: int = 8_000,
+    leaf_slots: Sequence[int] = (32, 64, 128, 256, 512),
+    max_level: int = 7,
+    seed: int = 9,
+) -> ExperimentResult:
+    """Insert/search throughput per (leafSlots, tree level)."""
+    result = ExperimentResult(
+        "fig9",
+        "STX-SeqTree throughput vs. BlindiTree levels (breathing off)",
+        x_label="tree level",
+    )
+    levels_axis = list(range(max_level + 1))
+    result.xs = [float(level) for level in levels_axis]
+    for slots in leaf_slots:
+        available = min(max_level, int(math.log2(slots)) - 1)
+        inserts, searches = [], []
+        for level in levels_axis:
+            if level > available:
+                inserts.append(float("nan"))
+                searches.append(float("nan"))
+                continue
+            r = run_insert_search(
+                "stx-seqtree", n=n, capacity=slots, levels=level,
+                breathing=None, seed=seed,
+            )
+            inserts.append(r.insert_throughput)
+            searches.append(r.search_throughput)
+        result.add_series(f"insert[slots={slots}]", inserts)
+        result.add_series(f"search[slots={slots}]", searches)
+    result.add_row(
+        "paper",
+        "insert peaks at level 2 (3 for 512 slots); search peaks at "
+        "level 5-6 for 128-512 slots",
+    )
+    return result

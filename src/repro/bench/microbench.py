@@ -1,0 +1,67 @@
+"""Shared insert/search microbenchmark used by Figures 9-11 (section 6.4).
+
+The paper's SeqTree analysis "consists of inserting 50 million uniformly
+distributed 64-bit keys, and afterwards performing 50 million uniformly
+distributed searches" on STX variants whose every leaf uses the studied
+representation.  The driver here is scale-parameterized.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.harness import IndexEnv, make_u64_environment, measure
+
+
+@dataclass
+class InsertSearchResult:
+    """Throughputs plus the space taken by the index's leaf nodes."""
+
+    insert_throughput: float
+    search_throughput: float
+    leaf_bytes: int
+    index_bytes: int
+
+
+def run_insert_search(
+    index_name: str,
+    n: int = 10_000,
+    capacity: int = 128,
+    levels: Optional[int] = None,
+    breathing: Optional[int] = None,
+    seed: int = 9,
+) -> InsertSearchResult:
+    """Insert ``n`` uniform u64 keys, then search ``n`` random keys."""
+    kwargs = {"capacity": capacity, "breathing": breathing}
+    if levels is not None:
+        kwargs["levels"] = levels
+    env: IndexEnv = make_u64_environment(index_name, **kwargs)
+    rng = random.Random(seed)
+    values = rng.sample(range(1 << 56), n)
+    keys = []
+
+    def do_inserts():
+        for value in values:
+            tid = env.table.insert_row(value)
+            key = env.table.peek_key(tid)
+            keys.append(key)
+            env.index.insert(key, tid)
+
+    m_insert = measure(env.cost, n, do_inserts)
+    probes = [rng.choice(keys) for _ in range(n)]
+    m_search = measure(
+        env.cost, n, lambda: [env.index.lookup(k) for k in probes]
+    )
+    leaf_bytes = sum(
+        size
+        for category, size in env.allocator.breakdown().items()
+        if category.startswith("leaf.")
+    )
+    return InsertSearchResult(
+        insert_throughput=m_insert.throughput,
+        search_throughput=m_search.throughput,
+        leaf_bytes=leaf_bytes,
+        index_bytes=env.index.index_bytes,
+    )

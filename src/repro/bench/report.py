@@ -1,0 +1,69 @@
+"""Markdown report generation from experiment results.
+
+Turns a set of :class:`~repro.bench.harness.ExperimentResult` objects
+into one self-contained markdown document (tables per figure, notes
+preserved) — the machinery behind regenerating the appendix tables of
+EXPERIMENTS.md after a full benchmark run.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterable, List, Optional
+
+from repro.bench.harness import ExperimentResult
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN padding in level sweeps
+        return "—"
+    if value == 0:
+        return "0"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.2f}"
+    return f"{value:.4g}"
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section with a table."""
+    lines: List[str] = [f"## {result.experiment_id} — {result.title}", ""]
+    if result.series:
+        header = [result.x_label or "x"] + [_fmt(x) for x in result.xs]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for series in result.series:
+            cells = [series.name] + [_fmt(y) for y in series.ys]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    if result.rows:
+        for label, value in result.rows:
+            lines.append(f"- **{label}**: {value}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(
+    results: Iterable[ExperimentResult],
+    title: str = "Benchmark report",
+    preamble: Optional[str] = None,
+    timestamp: Optional[str] = None,
+) -> str:
+    """A full markdown report over many experiments."""
+    stamp = timestamp or datetime.date.today().isoformat()
+    sections = [f"# {title}", "", f"_Generated {stamp}._", ""]
+    if preamble:
+        sections += [preamble, ""]
+    for result in results:
+        sections.append(result_to_markdown(result))
+    return "\n".join(sections)
+
+
+def save_report(
+    results: Iterable[ExperimentResult], path: str, **kwargs
+) -> None:
+    with open(path, "w") as fh:
+        fh.write(build_report(results, **kwargs))

@@ -1,0 +1,167 @@
+"""Section 6.1 textual claims: key-size capacity ratios and op-cost split.
+
+Two results from the running text:
+
+* "an elastic version of the STX B+-tree can store 2x/5x the number of
+  8-byte/30-byte keys with only a 25% throughput degradation" — the
+  capacity experiment inserts into STX and the elastic tree until each
+  exceeds a fixed byte budget and compares item counts, then compares
+  lookup throughput on the shrunken elastic tree against STX.
+* the operation-cost breakdown: "18.3% of the execution time consists of
+  work related to elasticity", of which 4.7% is representation
+  conversion — reproduced by exact cost-model attribution (charges made
+  inside compact-leaf searches, compact-leaf updates, and conversions
+  are tagged; see ``CostModel.attributed_to``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.bench.harness import (
+    ExperimentResult,
+    estimate_stx_bytes_per_key,
+    make_u64_environment,
+    measure,
+)
+
+
+def _fill_to_budget(env, values, budget_bytes: int, hard_cap: int):
+    """Insert values until the index exceeds the budget.
+
+    Returns (count, inserted keys).
+    """
+    count = 0
+    keys = []
+    for value in values:
+        if env.index.index_bytes > budget_bytes or count >= hard_cap:
+            break
+        tid = env.table.insert_row(value)
+        key = env.table.peek_key(tid)
+        env.index.insert(key, tid)
+        keys.append(key)
+        count += 1
+    return count, keys
+
+
+def run(
+    base_items: int = 12_000,
+    key_widths: Sequence[int] = (8, 16, 30),
+    seed: int = 61,
+) -> ExperimentResult:
+    """Capacity ratios per key size, plus the insert-cost breakdown."""
+    result = ExperimentResult(
+        "sec6.1",
+        "Keys stored in a fixed budget: elastic vs. STX, by key size",
+        x_label="key bytes",
+    )
+    rng = random.Random(seed)
+    ratios = []
+    degradations = []
+    for key_width in key_widths:
+        rate = estimate_stx_bytes_per_key(key_width=key_width)
+        budget = int(rate * base_items)
+        values = rng.sample(range(1 << 56), 8 * base_items)
+        stx = make_u64_environment("stx", key_width=key_width)
+        stx_items, stx_keys = _fill_to_budget(stx, values, budget, 8 * base_items)
+        # The elastic tree's soft bound IS the budget: it starts
+        # shrinking at 90% of it and absorbs inserts by converting
+        # leaves, exceeding the budget only once conversion headroom is
+        # exhausted.
+        elastic = make_u64_environment(
+            "elastic",
+            key_width=key_width,
+            size_bound_bytes=budget,
+        )
+        elastic_items, elastic_keys = _fill_to_budget(
+            elastic, values, budget, 8 * base_items
+        )
+        ratios.append(elastic_items / stx_items)
+        # Lookup throughput on the shrunken elastic tree vs. STX.
+        stx_probes = [rng.choice(stx_keys) for _ in range(2000)]
+        elastic_probes = [rng.choice(elastic_keys) for _ in range(2000)]
+        m_stx = measure(
+            stx.cost, len(stx_probes),
+            lambda: [stx.index.lookup(k) for k in stx_probes],
+        )
+        m_elastic = measure(
+            elastic.cost, len(elastic_probes),
+            lambda: [elastic.index.lookup(k) for k in elastic_probes],
+        )
+        degradations.append(1.0 - m_elastic.throughput / m_stx.throughput)
+    result.xs = list(key_widths)
+    result.add_series("capacity ratio (elastic/stx)", ratios)
+    result.add_series("lookup degradation", degradations)
+    result.add_row("paper", "2x at 8 B and 5x at 30 B keys, <25% degradation")
+
+    # Operation-cost breakdown over a full insert run entering shrinking.
+    breakdown = _insert_cost_breakdown(base_items, seed)
+    for label, value in breakdown:
+        result.add_row(label, value)
+    return result
+
+
+def _insert_cost_breakdown(base_items: int, seed: int):
+    rate = estimate_stx_bytes_per_key()
+    bound = int(rate * base_items / 0.9)
+    rng = random.Random(seed ^ 0x99)
+    values = rng.sample(range(1 << 56), 2 * base_items)
+
+    def fill(env):
+        def do():
+            for value in values:
+                tid = env.table.insert_row(value)
+                env.index.insert(env.table.peek_key(tid), tid)
+
+        return measure(env.cost, len(values), do)
+
+    stx = make_u64_environment("stx")
+    fill(stx)  # the STX twin exists for cross-checking scale only
+    elastic = make_u64_environment("elastic", size_bound_bytes=bound)
+    m_elastic = fill(elastic)
+    # Exact attribution (cost-model tags charged inside compact-leaf
+    # searches/updates and representation conversions).  The paper's
+    # 18.3% = 8.6% (compact searches, excluding table loads) + 5% (key
+    # comparisons) + 4.7% (conversions) — it counts neither the verify
+    # table loads nor the in-leaf update shifts, so the comparable
+    # figure here excludes them too (and they are reported separately).
+    total = m_elastic.cost_units
+    weights = elastic.cost.weights.as_dict()
+    search_events = dict(elastic.cost.tagged.get("compact.search", {}))
+    load_cost = (
+        search_events.pop("key_load", 0) * weights["key_load"]
+        + search_events.pop("key_load_batched", 0)
+        * weights["key_load_batched"]
+    )
+    search_share = sum(
+        weights.get(category, 0.0) * count
+        for category, count in search_events.items()
+    ) / total
+    load_share = load_cost / total
+    update_share = elastic.cost.tagged_cost("compact.update") / total
+    conversion_share = elastic.cost.tagged_cost("elastic.convert") / total
+    paper_comparable = search_share + conversion_share
+    return [
+        (
+            "elasticity-related share of insert run",
+            f"{paper_comparable:.1%} (paper: 18.3% — compact searching/"
+            "compares + conversion, excl. table loads)",
+        ),
+        (
+            "conversion work share",
+            f"{conversion_share:.1%} (paper: 4.7%)",
+        ),
+        (
+            "compact-leaf search/compare share",
+            f"{search_share:.1%} (paper: 8.6% + 5%)",
+        ),
+        (
+            "verify table-load share (paper excludes this)",
+            f"{load_share:.1%}",
+        ),
+        (
+            "compact-leaf update share (paper counts this as plain insert work)",
+            f"{update_share:.1%}",
+        ),
+    ]

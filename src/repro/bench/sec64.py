@@ -1,0 +1,61 @@
+"""Section 6.4 census claim: how fast max-capacity leaves become common.
+
+"if X is the amount of items a B+-tree can hold without overflowing the
+size bound, then at 4X items 10% of the leaves in the elastic index are
+SeqTree nodes with capacity of 128, and that number reaches 37% at 5X
+items."  (The elastic index reaches capacity-128 leaves only once it
+holds roughly three times the bound's worth of items.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.bench.harness import (
+    ExperimentResult,
+    estimate_stx_bytes_per_key,
+    make_u64_environment,
+)
+from repro.btree.stats import collect_stats
+
+
+def run(
+    x_items: int = 4_000,
+    multiples: Sequence[int] = (1, 2, 3, 4, 5),
+    seed: int = 64,
+) -> ExperimentResult:
+    """Leaf census of the elastic tree at multiples of the bound."""
+    rate = estimate_stx_bytes_per_key()
+    bound = int(rate * x_items / 0.9)
+    env = make_u64_environment("elastic", size_bound_bytes=bound)
+    rng = random.Random(seed)
+    values = rng.sample(range(1 << 56), max(multiples) * x_items)
+    fractions_128: List[float] = []
+    compact_fractions: List[float] = []
+    inserted = 0
+    for multiple in multiples:
+        target = multiple * x_items
+        while inserted < target:
+            value = values[inserted]
+            tid = env.table.insert_row(value)
+            env.index.insert(env.table.peek_key(tid), tid)
+            inserted += 1
+        stats = collect_stats(env.index)
+        cap128 = sum(
+            count
+            for leaf_class, count in stats.leaves_by_class.items()
+            if leaf_class.startswith("compact") and leaf_class.endswith("/128")
+        )
+        fractions_128.append(cap128 / max(1, stats.leaf_count))
+        compact_fractions.append(stats.compact_fraction)
+    result = ExperimentResult(
+        "sec6.4-census",
+        "Fraction of capacity-128 leaves vs. dataset multiple of bound X",
+        x_label="items / X",
+    )
+    result.xs = list(multiples)
+    result.add_series("cap-128 leaf fraction", fractions_128)
+    result.add_series("compact leaf fraction", compact_fractions)
+    result.add_row("paper", "cap-128 leaves: ~0% until 3X, 10% at 4X, 37% at 5X")
+    return result

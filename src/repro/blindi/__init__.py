@@ -1,0 +1,34 @@
+"""Blind-trie compact node representations (paper section 5).
+
+A blind trie (Patricia trie) stores only the positions of discriminating
+bits, not the keys themselves; a search must load one key from the
+database table to verify its result.  Three representations from the
+paper are implemented, all over the same sorted-tuple-id layout:
+
+* :class:`~repro.blindi.seqtrie.SeqTrieRep` — Ferguson's dense array of
+  discriminating bits (~1 B/key) with a linear-scan search.
+* :class:`~repro.blindi.seqtree.SeqTreeRep` — the paper's novel
+  representation: the SeqTrie array plus a small embedded tree (the
+  *BlindiTree*) over its top levels, which restricts the scan to a small
+  range.  Space like SeqTrie, speed like SubTrie.
+* :class:`~repro.blindi.subtrie.SubTrieRep` — Bumbulis & Bowman's
+  preorder-array representation (~2 B/key) with a pointer-free descent.
+
+:class:`~repro.blindi.leaf.CompactLeaf` adapts any of these to the
+B+-tree leaf ADT, adding capacity management and the breathing tuple-id
+array optimization (section 5.4).
+"""
+
+from repro.blindi.seqtrie import SeqTrieRep, SearchResult
+from repro.blindi.seqtree import SeqTreeRep
+from repro.blindi.subtrie import SubTrieRep
+from repro.blindi.leaf import CompactLeaf, compact_leaf_factory
+
+__all__ = [
+    "SeqTrieRep",
+    "SeqTreeRep",
+    "SubTrieRep",
+    "SearchResult",
+    "CompactLeaf",
+    "compact_leaf_factory",
+]

@@ -1,0 +1,233 @@
+"""SeqTree: SeqTrie plus an embedded range-restricting tree (section 5.2).
+
+The SeqTree augments the SeqTrie's discriminating-bit array with an
+explicit tree over the top levels of the blind trie — the *BlindiTree* —
+laid out as a complete binary tree in an array (children of slot ``i``
+at ``2i+1`` / ``2i+2``).  Each slot stores the **index** of its entry in
+the bits array, or an end-of-tree marker.  Because the bits array is the
+in-order traversal of the blind trie, the slot of a node is always the
+position of the *minimum* discriminating bit within the node's range,
+and the ranges of its children are the subranges to its left and right.
+
+A search descends the tree following the searched key's bits; the node
+where it falls off the tree bounds the range the sequential SeqTrie scan
+must cover, shrinking it by roughly ``2^levels``.  Small trees occupy
+alignment slack, so levels 1–3 are free in the space model (the paper's
+measurement, section 6.4).
+
+Maintenance (section 5.3): inserts shift the stored indices and either
+drop the new entry into an empty slot, splice it above an existing
+subtree (implemented as a subtree rebuild), or leave it below the tree;
+removals locate the vanished index in the tree and rebuild that subtree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.keys.bitops import get_bit
+from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+from repro.blindi.seqtrie import SeqTrieRep, _Descent
+from repro.table.table import Table
+
+#: End-of-tree marker: slot has no trie node (footnote 2 of the paper
+#: uses max-keys + 1; any invalid index works).
+ET = -1
+
+#: Alignment slack a leaf node provides for free (levels 1-3 cost nothing,
+#: matching the paper's observation in section 6.4).
+_FREE_TREE_BYTES = 8
+
+
+class SeqTreeRep(SeqTrieRep):
+    """The paper's novel blind-trie representation."""
+
+    kind = "seqtree"
+
+    def __init__(
+        self,
+        table: Table,
+        key_width: int,
+        cost_model: CostModel = NULL_COST_MODEL,
+        levels: int = 2,
+    ) -> None:
+        super().__init__(table, key_width, cost_model)
+        if levels < 0:
+            raise ValueError("levels must be >= 0")
+        self.levels = levels
+        self.tree: List[int] = [ET] * ((1 << levels) - 1)
+
+    def _ctor_kwargs(self) -> dict:
+        return {"levels": self.levels}
+
+    # ------------------------------------------------------------------
+    # Space model
+    # ------------------------------------------------------------------
+    def tree_entry_bytes(self, capacity: int) -> int:
+        """Bytes per BlindiTree slot (indices up to ``capacity``)."""
+        return 1 if capacity <= 256 else 2
+
+    def payload_bytes(self, capacity: int) -> int:
+        bits_bytes = super().payload_bytes(capacity)
+        tree_bytes = len(self.tree) * self.tree_entry_bytes(capacity)
+        return bits_bytes + max(0, tree_bytes - _FREE_TREE_BYTES)
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def _after_bulk_load(self) -> None:
+        self._build_range(0, 0, len(self.bits) - 1)
+
+    def _build_range(self, slot: int, lo: int, hi: int) -> None:
+        """(Re)build the subtree at ``slot`` for bits range [lo, hi]."""
+        if slot >= len(self.tree):
+            return
+        if lo > hi:
+            self.tree[slot] = ET
+            self._build_range(2 * slot + 1, 1, 0)
+            self._build_range(2 * slot + 2, 1, 0)
+            return
+        span = hi - lo + 1
+        self.cost.compares(span)
+        self.cost.touch_bytes_seq(span * self.bit_entry_bytes)
+        best = lo
+        bits = self.bits
+        for i in range(lo + 1, hi + 1):
+            if bits[i] < bits[best]:
+                best = i
+        self.tree[slot] = best
+        self._build_range(2 * slot + 1, lo, best - 1)
+        self._build_range(2 * slot + 2, best + 1, hi)
+
+    # ------------------------------------------------------------------
+    # Search: tree descent bounds the sequential scan
+    # ------------------------------------------------------------------
+    def _descend(self, key: bytes) -> _Descent:
+        d = _Descent(lo=0, hi=len(self.bits) - 1, j=0)
+        tree = self.tree
+        size = len(tree)
+        if size:
+            self.cost.seq_lines(1)  # the tree is a few contiguous bytes
+        slot = 0
+        while slot < size:
+            m = tree[slot]
+            if m == ET:
+                break
+            self.cost.compares(1)
+            self.cost.branches(1)
+            if get_bit(key, self.bits[m]):
+                d.j = m + 1
+                d.lo = m + 1
+                d.right_turn_inds.append(m)
+                slot = 2 * slot + 2
+            else:
+                d.hi = m - 1
+                d.left_turn_inds.append(m)
+                slot = 2 * slot + 1
+        return d
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _shift_cost(self) -> None:
+        size = len(self.tree)
+        if size:
+            self.cost.compares(size)
+            self.cost.touch_bytes_seq(size)
+
+    def _after_insert(self, pos: int, bits_idx: int) -> None:
+        tree = self.tree
+        size = len(tree)
+        if not size:
+            return
+        # 1. Entries at or beyond the insertion point moved one right.
+        self._shift_cost()
+        for slot in range(size):
+            if tree[slot] != ET and tree[slot] >= bits_idx:
+                tree[slot] += 1
+        # 2. Place the new entry: drop into an empty slot, splice above a
+        #    subtree whose root bit is larger (rebuild), or fall below.
+        new_bit = self.bits[bits_idx]
+        slot = 0
+        lo, hi = 0, len(self.bits) - 1
+        while slot < size:
+            m = tree[slot]
+            if m == ET:
+                tree[slot] = bits_idx
+                return
+            self.cost.compares(1)
+            self.cost.branches(1)
+            root_bit = self.bits[m]
+            if new_bit < root_bit:
+                # The new entry is the range's minimum: it becomes the
+                # subtree root (the paper's splice).
+                self._build_range(slot, lo, hi)
+                return
+            if bits_idx < m:
+                hi = m - 1
+                slot = 2 * slot + 1
+            else:
+                lo = m + 1
+                slot = 2 * slot + 2
+
+    def _after_remove(self, pos: int, removed_bits_idx: Optional[int]) -> None:
+        tree = self.tree
+        size = len(tree)
+        if not size:
+            return
+        if removed_bits_idx is None or not self.bits:
+            for slot in range(size):
+                tree[slot] = ET
+            return
+        r = removed_bits_idx
+        # Locate r in the tree (old coordinates) before shifting.
+        found_slot = None
+        slot = 0
+        lo, hi = 0, len(self.bits)  # old array was one entry longer
+        while slot < size:
+            m = tree[slot]
+            if m == ET:
+                break
+            self.cost.compares(1)
+            self.cost.branches(1)
+            if m == r:
+                found_slot = slot
+                break
+            if r < m:
+                hi = m - 1
+                slot = 2 * slot + 1
+            else:
+                lo = m + 1
+                slot = 2 * slot + 2
+        self._shift_cost()
+        for s in range(size):
+            if tree[s] != ET and tree[s] > r:
+                tree[s] -= 1
+        if found_slot is not None:
+            # The removed entry's range, in new coordinates, lost one slot.
+            self._build_range(found_slot, lo, hi - 1)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        self._check_tree(0, 0, len(self.bits) - 1)
+
+    def _check_tree(self, slot: int, lo: int, hi: int) -> None:
+        if slot >= len(self.tree):
+            return
+        m = self.tree[slot]
+        if lo > hi:
+            assert m == ET, f"slot {slot} should be ET for empty range"
+            self._check_tree(2 * slot + 1, 1, 0)
+            self._check_tree(2 * slot + 2, 1, 0)
+            return
+        assert m != ET, f"slot {slot} is ET but range [{lo},{hi}] non-empty"
+        assert lo <= m <= hi, f"slot {slot} entry {m} outside [{lo},{hi}]"
+        min_bit = min(self.bits[lo : hi + 1])
+        assert self.bits[m] == min_bit, (
+            f"slot {slot} points at bit {self.bits[m]}, range min is {min_bit}"
+        )
+        self._check_tree(2 * slot + 1, lo, m - 1)
+        self._check_tree(2 * slot + 2, m + 1, hi)

@@ -1,0 +1,392 @@
+"""SeqTrie: the dense blind-trie array representation (paper section 5.2).
+
+The SeqTrie stores, for ``n`` keys sorted lexicographically, an array
+``bits`` of ``n - 1`` entries where ``bits[i]`` is the first bit
+discriminating the *i*-th from the *(i+1)*-th key (bit 0 = MSB).  Keys
+themselves are not stored: the node keeps only tuple ids, and a search
+loads exactly one key from the table to verify its candidate.
+
+Search has predecessor semantics.  The sequential scan maintains a
+candidate position ``j`` and an ignore threshold: a *hit* (searched key
+has bit 1 at the entry's discriminating bit) advances ``j`` past the
+entry and clears the threshold; a *miss* records the entry's bit as the
+threshold, after which entries with larger discriminating bits are
+skipped — they lie inside a subtrie the search has ruled out.
+
+If the verification load mismatches, the discriminating bit ``b_d``
+between the searched key and the candidate is known, and the true
+predecessor is found by scanning outward from the candidate for the
+first entry with a discriminating bit smaller than ``b_d`` (the boundary
+of the maximal range of keys sharing the searched key's ``b_d``-bit
+prefix; every key in that range lies on the same side of the searched
+key).  :class:`~repro.blindi.seqtree.SeqTreeRep` overrides the descent
+to restrict both scans to a small range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.keys.bitops import first_diff_bit, get_bit
+from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+from repro.table.table import Table
+
+_INF = 1 << 30
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a predecessor search in a blind-trie representation.
+
+    Attributes:
+        found: Whether the searched key is present.
+        pos: Key position when found; insertion position otherwise.
+        pred: Position of the largest key <= searched key (-1 if none).
+        b_d: Discriminating bit vs. the verified key (``None`` when found
+            or when the node is empty).
+        bits_insert_idx: Where the new discriminating-bit entry goes on
+            insert (``None`` when found or empty).
+        skey_greater: Whether the searched key exceeded the verified key.
+    """
+
+    found: bool
+    pos: int
+    pred: int
+    b_d: Optional[int] = None
+    bits_insert_idx: Optional[int] = None
+    skey_greater: bool = False
+
+
+@dataclass
+class _Descent:
+    """Range and ancestor bookkeeping produced by the candidate descent."""
+
+    lo: int
+    hi: int
+    j: int
+    #: bits-array indices of ancestors where the descent went left,
+    #: outermost first; their array positions lie right of ``hi``.
+    left_turn_inds: List[int] = field(default_factory=list)
+    #: bits-array indices of ancestors where the descent went right,
+    #: outermost first; their positions lie left of ``lo``.
+    right_turn_inds: List[int] = field(default_factory=list)
+
+
+class SeqTrieRep:
+    """Ferguson-style dense blind trie over tuple ids."""
+
+    kind = "seqtrie"
+
+    def __init__(self, table: Table, key_width: int,
+                 cost_model: CostModel = NULL_COST_MODEL) -> None:
+        self.table = table
+        self.key_width = key_width
+        self.cost = cost_model
+        self.bits: List[int] = []
+        self.tids: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sorted(
+        cls,
+        keys: List[bytes],
+        tids: List[int],
+        table: Table,
+        key_width: int,
+        cost_model: CostModel = NULL_COST_MODEL,
+        **kwargs,
+    ) -> "SeqTrieRep":
+        """Build from an already-sorted key/tid sequence (leaf compaction:
+        the keys come for free from the standard leaf being converted)."""
+        rep = cls(table, key_width, cost_model, **kwargs)
+        rep.tids = list(tids)
+        rep.bits = _bits_of_sorted_keys(keys)
+        cost_model.copy_bytes(len(tids) * 8 + len(rep.bits) * rep.bit_entry_bytes)
+        rep._after_bulk_load()
+        return rep
+
+    def _after_bulk_load(self) -> None:
+        """Hook for subclasses to build auxiliary structures."""
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of keys stored."""
+        return len(self.tids)
+
+    @property
+    def bit_entry_bytes(self) -> int:
+        """Bytes per discriminating-bit entry: 1 for keys <= 32 B."""
+        return 1 if self.key_width <= 32 else 2
+
+    def payload_bytes(self, capacity: int) -> int:
+        """Bytes of blind-trie metadata for a node of ``capacity`` keys
+        (excludes tuple ids and the node header)."""
+        return max(0, capacity - 1) * self.bit_entry_bytes
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _descend(self, key: bytes) -> _Descent:
+        """Locate the scan range for ``key``; the base class scans all."""
+        return _Descent(lo=0, hi=len(self.bits) - 1, j=0)
+
+    def _scan(self, key: bytes, lo: int, hi: int, j: int) -> int:
+        """The SeqTrie sequential scan over ``bits[lo..hi]``."""
+        count = hi - lo + 1
+        if count <= 0:
+            return j
+        self.cost.touch_bytes_seq(count * self.bit_entry_bytes)
+        self.cost.compares(count)
+        self.cost.branches(count)
+        threshold = _INF
+        bits = self.bits
+        for i in range(lo, hi + 1):
+            b = bits[i]
+            if b > threshold:
+                continue
+            if get_bit(key, b):
+                j = i + 1
+                threshold = _INF
+            else:
+                threshold = b
+        return j
+
+    def search(self, key: bytes) -> SearchResult:
+        """Predecessor search: position of ``key`` or of its predecessor."""
+        if self.n == 0:
+            return SearchResult(found=False, pos=0, pred=-1)
+        descent = self._descend(key)
+        j = self._scan(key, descent.lo, descent.hi, descent.j)
+        candidate = self.table.load_key(self.tids[j])
+        self.cost.compares(1)
+        b_d = first_diff_bit(candidate, key)
+        if b_d is None:
+            return SearchResult(found=True, pos=j, pred=j)
+        if get_bit(key, b_d):
+            # Searched key greater: all keys sharing its b_d-prefix are
+            # smaller; predecessor is the last of them.
+            pred = self._boundary_right(descent, j, b_d)
+            return SearchResult(
+                found=False,
+                pos=pred + 1,
+                pred=pred,
+                b_d=b_d,
+                bits_insert_idx=pred,
+                skey_greater=True,
+            )
+        pred = self._boundary_left(descent, j, b_d)
+        return SearchResult(
+            found=False,
+            pos=pred + 1,
+            pred=pred,
+            b_d=b_d,
+            bits_insert_idx=pred + 1,
+            skey_greater=False,
+        )
+
+    def _boundary_right(self, descent: _Descent, j: int, b_d: int) -> int:
+        """First index >= j (in scan range, then ancestors) whose
+        discriminating bit is < b_d; n-1 if none (key is a new maximum)."""
+        hi = descent.hi
+        scanned = 0
+        for i in range(j, hi + 1):
+            scanned += 1
+            if self.bits[i] < b_d:
+                self._charge_fixup(scanned)
+                return i
+        # Ancestors where the descent went left sit just beyond hi; their
+        # right subtrees hold only larger discriminating bits, so only the
+        # ancestor entries themselves can be the boundary.
+        for ind in reversed(descent.left_turn_inds):
+            scanned += 1
+            if self.bits[ind] < b_d:
+                self._charge_fixup(scanned)
+                return ind
+        self._charge_fixup(scanned)
+        return self.n - 1
+
+    def _boundary_left(self, descent: _Descent, j: int, b_d: int) -> int:
+        """First index < j scanning leftward whose discriminating bit is
+        < b_d; -1 if none (key is a new minimum)."""
+        lo = descent.lo
+        scanned = 0
+        for i in range(j - 1, lo - 1, -1):
+            scanned += 1
+            if self.bits[i] < b_d:
+                self._charge_fixup(scanned)
+                return i
+        for ind in reversed(descent.right_turn_inds):
+            scanned += 1
+            if self.bits[ind] < b_d:
+                self._charge_fixup(scanned)
+                return ind
+        self._charge_fixup(scanned)
+        return -1
+
+    def _charge_fixup(self, scanned: int) -> None:
+        if scanned:
+            self.cost.touch_bytes_seq(scanned * self.bit_entry_bytes)
+            self.cost.compares(scanned)
+            self.cost.branches(scanned)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def replace_tid(self, pos: int, tid: int) -> int:
+        """Swap the tuple id at ``pos``; returns the old one."""
+        old = self.tids[pos]
+        self.tids[pos] = tid
+        self.cost.seq_lines(1)
+        return old
+
+    def insert_new(self, result: SearchResult, key: bytes, tid: int) -> None:
+        """Insert an absent key located by ``result``.
+
+        The new discriminating-bit entry is ``b_d`` from the verification
+        step — no additional key loads are required (the neighbouring
+        entries are provably unchanged; see module docstring).
+        """
+        pos = result.pos
+        if self.n == 0:
+            self.tids.append(tid)
+            return
+        assert result.b_d is not None and result.bits_insert_idx is not None
+        self.tids.insert(pos, tid)
+        self.bits.insert(result.bits_insert_idx, result.b_d)
+        moved = len(self.tids) - pos
+        self.cost.copy_bytes(moved * 8 + moved * self.bit_entry_bytes)
+        self._after_insert(pos, result.bits_insert_idx)
+
+    def _after_insert(self, pos: int, bits_idx: int) -> None:
+        """Hook for subclasses (SeqTree maintains its BlindiTree here)."""
+
+    def remove_at(self, pos: int) -> int:
+        """Remove the key at ``pos``; returns its tuple id.
+
+        Removing key *p* collapses two discriminating-bit entries into
+        one: the surviving entry is the smaller bit (the discriminating
+        bit of the removed key's neighbours is the minimum of the two).
+        """
+        tid = self.tids.pop(pos)
+        n_after = len(self.tids)
+        removed_bits_idx: Optional[int] = None
+        if n_after == 0:
+            pass  # no bits remain
+        elif pos == 0:
+            self.bits.pop(0)
+            removed_bits_idx = 0
+        elif pos == n_after:  # removed the last key
+            self.bits.pop()
+            removed_bits_idx = n_after - 1
+        else:
+            if self.bits[pos - 1] <= self.bits[pos]:
+                # Left entry survives (it is the smaller bit).
+                self.bits.pop(pos)
+                removed_bits_idx = pos
+            else:
+                self.bits.pop(pos - 1)
+                removed_bits_idx = pos - 1
+        moved = n_after - pos
+        self.cost.copy_bytes(max(0, moved) * (8 + self.bit_entry_bytes))
+        self._after_remove(pos, removed_bits_idx)
+        return tid
+
+    def _after_remove(self, pos: int, removed_bits_idx: Optional[int]) -> None:
+        """Hook for subclasses."""
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def split(self, fraction: float = 0.5) -> "SeqTrieRep":
+        """Move the upper part into a new representation.
+
+        A split eliminates one discriminating bit — the one separating
+        the halves (paper section 5.3) — so no key loads are needed.
+        """
+        mid = max(1, min(self.n - 1, int(self.n * fraction)))
+        right = type(self)(self.table, self.key_width, self.cost, **self._ctor_kwargs())
+        right.tids = self.tids[mid:]
+        right.bits = self.bits[mid:]
+        del self.tids[mid:]
+        del self.bits[mid - 1 :]
+        self.cost.copy_bytes(len(right.tids) * (8 + self.bit_entry_bytes))
+        self._after_bulk_load()
+        right._after_bulk_load()
+        return right
+
+    def merge_from(self, right: "SeqTrieRep") -> None:
+        """Absorb ``right``; introduces one new discriminating bit, whose
+        position requires loading the two boundary keys (section 5.3)."""
+        if right.n == 0:
+            return
+        if self.n == 0:
+            self.tids = list(right.tids)
+            self.bits = list(right.bits)
+            self._after_bulk_load()
+            return
+        last_left = self.table.load_key(self.tids[-1])
+        first_right = self.table.load_key(right.tids[0])
+        boundary = first_diff_bit(last_left, first_right)
+        assert boundary is not None, "merge of overlapping key ranges"
+        self.bits.append(boundary)
+        self.bits.extend(right.bits)
+        self.tids.extend(right.tids)
+        self.cost.copy_bytes(len(right.tids) * (8 + self.bit_entry_bytes))
+        self._after_bulk_load()
+
+    def _ctor_kwargs(self) -> dict:
+        """Extra constructor arguments for subclasses (split/merge)."""
+        return {}
+
+    def append_run(self, keys: List[bytes], tids: List[int], boundary: int) -> None:
+        """Append a sorted run of known keys after the current maximum.
+
+        ``boundary`` is the discriminating bit between the current last
+        key and ``keys[0]``.  Used when merging a standard leaf into a
+        compact one: the standard leaf's keys are already in memory, so
+        no loads are charged beyond the boundary computation done by the
+        caller.
+        """
+        if not keys:
+            return
+        self.bits.append(boundary)
+        self.bits.extend(_bits_of_sorted_keys(keys))
+        self.tids.extend(tids)
+        self.cost.copy_bytes(len(tids) * (8 + self.bit_entry_bytes))
+        self._after_bulk_load()
+
+    # ------------------------------------------------------------------
+    # Access helpers
+    # ------------------------------------------------------------------
+    def tid_at(self, pos: int) -> int:
+        return self.tids[pos]
+
+    def key_at(self, pos: int) -> bytes:
+        """Load the key at ``pos`` from the table (charged)."""
+        return self.table.load_key(self.tids[pos])
+
+    def check_invariants(self) -> None:
+        """Verify the bits array against the actual keys (tests only)."""
+        keys = [self.table.peek_key(t) for t in self.tids]
+        assert keys == sorted(keys), "tids not in key order"
+        expected = _bits_of_sorted_keys(keys)
+        assert self.bits == expected, (
+            f"bits array {self.bits} != expected {expected}"
+        )
+
+
+def _bits_of_sorted_keys(keys: List[bytes]) -> List[int]:
+    """Discriminating bits of consecutive sorted keys."""
+    out: List[int] = []
+    for a, b in zip(keys, keys[1:]):
+        bit = first_diff_bit(a, b)
+        if bit is None:
+            raise ValueError("duplicate keys in blind trie")
+        out.append(bit)
+    return out

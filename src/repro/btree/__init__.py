@@ -1,0 +1,24 @@
+"""STX-style B+-tree substrate with pluggable leaf representations.
+
+This is the baseline index the paper transforms (section 6 uses the STX
+B+-tree [2] with 16-key leaves).  The tree keeps full keys in inner nodes
+and delegates all leaf-level behaviour to a leaf ADT
+(:class:`~repro.btree.leaves.LeafNode`) — exactly the boundary the
+elastic framework exploits (section 3: leaves are "mini indexes" with
+their own abstract data type).  Overflow and underflow events are routed
+through pluggable handlers so that the elasticity algorithm (section 4)
+can piggyback leaf conversion on splits and merges.
+"""
+
+from repro.btree.leaves import LeafNode, StandardLeaf, LeafFullError
+from repro.btree.tree import BPlusTree, InnerNode
+from repro.btree.stats import TreeStats
+
+__all__ = [
+    "LeafNode",
+    "StandardLeaf",
+    "LeafFullError",
+    "BPlusTree",
+    "InnerNode",
+    "TreeStats",
+]

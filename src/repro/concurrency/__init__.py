@@ -1,0 +1,31 @@
+"""Multi-threaded execution simulator (paper section 6.2, Figures 7b-c).
+
+Substitution (DESIGN.md): CPython's GIL makes real multi-threaded index
+benchmarks meaningless, so the multi-threaded experiments run on a
+discrete-event simulator of Optimistic Lock Coupling [17]:
+
+* every operation is first executed serially on the *real* index,
+  recording its weighted cost, its cache-line volume, the node ids it
+  read (the OLC version-check read set), and the node ids it wrote;
+* the simulator then replays the recorded operations on T virtual
+  threads: a reader whose execution window overlaps a concurrent
+  writer's interval on a shared node restarts (the OLC retry), and all
+  threads share a finite memory-bandwidth resource.
+
+Read-mostly workloads scale near-linearly (rare conflicts); inserts
+saturate on retries at shared upper nodes and on bandwidth (copy-heavy
+indexes saturate earlier) — the two effects behind Figure 7's shapes.
+"""
+
+from repro.concurrency.olc import OLCSimulator, OpRecord, ScalingResult, record_ops
+from repro.concurrency.olc_tree import OLCBPlusTree, Scheduler, Restart
+
+__all__ = [
+    "OLCSimulator",
+    "OpRecord",
+    "ScalingResult",
+    "record_ops",
+    "OLCBPlusTree",
+    "Scheduler",
+    "Restart",
+]

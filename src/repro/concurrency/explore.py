@@ -1,0 +1,121 @@
+"""Bounded model checking of OLC operations: exhaustive interleavings.
+
+The cooperative-coroutine design of :mod:`repro.concurrency.olc_tree`
+makes schedules first-class: an execution is fully determined by the
+sequence of "which operation advances next" choices.  This module
+enumerates *every* such schedule for a small scenario (depth-first with
+replay, odometer-style), validating an assertion after each one — a
+bounded model checker for the lock-coupling protocol.
+
+Exhaustive exploration is exponential in total step count, so scenarios
+must be tiny (2-3 operations on a near-full node); ``max_schedules``
+bounds the effort and the result reports whether the space was covered
+completely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, List, Sequence, Tuple
+
+#: A scenario factory returns fresh operation generators plus a
+#: validation callback run against {op index: result} after completion.
+ScenarioFactory = Callable[
+    [], Tuple[Sequence[Generator], Callable[[Dict[int, object]], None]]
+]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a schedule-space exploration."""
+
+    schedules_run: int
+    complete: bool
+    max_steps_seen: int
+
+    def __str__(self) -> str:
+        coverage = "exhaustive" if self.complete else "partial"
+        return (
+            f"{self.schedules_run} schedules ({coverage}), longest "
+            f"execution {self.max_steps_seen} steps"
+        )
+
+
+def explore_schedules(
+    factory: ScenarioFactory,
+    max_schedules: int = 200_000,
+    max_steps: int = 10_000,
+) -> ExplorationResult:
+    """Run ``factory``'s scenario under every possible interleaving.
+
+    Raises whatever the scenario's validator raises on the first
+    violating schedule (the failing choice sequence is attached to the
+    exception for reproduction).
+    """
+    prefix: List[int] = []
+    schedules_run = 0
+    longest = 0
+    while True:
+        generators, validate = factory()
+        active: List[Tuple[int, Generator]] = list(enumerate(generators))
+        results: Dict[int, object] = {}
+        trace: List[Tuple[int, int]] = []  # (choice, branching degree)
+        step = 0
+        while active:
+            if step >= max_steps:
+                raise RuntimeError(
+                    f"schedule exceeded {max_steps} steps: "
+                    f"{[c for c, _ in trace[:50]]}..."
+                )
+            degree = len(active)
+            choice = prefix[step] if step < len(prefix) else 0
+            trace.append((choice, degree))
+            op_id, gen = active[choice]
+            try:
+                next(gen)
+            except StopIteration as stop:
+                results[op_id] = stop.value
+                active.pop(choice)
+            step += 1
+        longest = max(longest, step)
+        try:
+            validate(results)
+        except AssertionError as failure:
+            failure.args = (
+                f"{failure.args[0] if failure.args else 'violation'} "
+                f"[schedule={[c for c, _ in trace]}]",
+            )
+            raise
+        schedules_run += 1
+        if schedules_run >= max_schedules:
+            return ExplorationResult(schedules_run, False, longest)
+        # Odometer: advance the deepest choice that still has siblings.
+        for position in range(len(trace) - 1, -1, -1):
+            choice, degree = trace[position]
+            if choice + 1 < degree:
+                prefix = [c for c, _ in trace[:position]] + [choice + 1]
+                break
+        else:
+            return ExplorationResult(schedules_run, True, longest)
+
+
+def replay_schedule(
+    factory: ScenarioFactory, schedule: Sequence[int]
+) -> Dict[int, object]:
+    """Re-run one specific choice sequence (reproducing a failure)."""
+    generators, validate = factory()
+    active: List[Tuple[int, Generator]] = list(enumerate(generators))
+    results: Dict[int, object] = {}
+    step = 0
+    while active:
+        choice = schedule[step] if step < len(schedule) else 0
+        choice = min(choice, len(active) - 1)
+        op_id, gen = active[choice]
+        try:
+            next(gen)
+        except StopIteration as stop:
+            results[op_id] = stop.value
+            active.pop(choice)
+        step += 1
+    validate(results)
+    return results

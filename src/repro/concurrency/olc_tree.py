@@ -1,0 +1,434 @@
+"""A B+-tree with Optimistic Lock Coupling, under cooperative scheduling.
+
+This is the BTreeOLC substrate of the paper's multi-threaded experiments
+(section 6.2, after Leis et al. [17] and Wang et al. [31]), implemented
+with *real* OLC semantics: every node carries a version counter and a
+lock bit; readers validate versions after reading and restart on
+conflict; writers lock optimistically and bump versions.
+
+Concurrency is simulated cooperatively: operations are generators that
+``yield`` before every synchronization primitive, and a seeded
+:class:`Scheduler` interleaves them arbitrarily.  This preserves every
+race the protocol must tolerate (torn descents, splits under a reader's
+feet, root replacement) while remaining fully deterministic per seed —
+the property the linearizability tests rely on.
+
+Scope matches the paper's experiment: inserts (with preventive splits),
+lookups, and leaf scans; no deletes (the YCSB phases used in Figure 7
+are load + read/scan/update transactions).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generator, List, Optional, Tuple
+
+from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+
+
+class Restart(Exception):
+    """Raised when an optimistic validation fails; the op restarts."""
+
+
+class OLCNode:
+    """A node guarded by a version counter and a lock bit."""
+
+    __slots__ = ("keys", "payload", "next_leaf", "is_leaf", "version",
+                 "locked")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: List[bytes] = []
+        #: Children for inner nodes; tuple ids for leaves.
+        self.payload: list = []
+        self.next_leaf: Optional["OLCNode"] = None
+        self.version = 0
+        self.locked = False
+
+    # -- OLC primitives (callers yield to the scheduler before each) ----
+    def read_version(self) -> int:
+        if self.locked:
+            raise Restart()
+        return self.version
+
+    def validate(self, version: int) -> None:
+        if self.locked or self.version != version:
+            raise Restart()
+
+    def upgrade(self, version: int) -> None:
+        """Acquire the write lock iff unchanged since ``version``."""
+        if self.locked or self.version != version:
+            raise Restart()
+        self.locked = True
+
+    def unlock(self, changed: bool = True) -> None:
+        assert self.locked
+        if changed:
+            self.version += 1
+        self.locked = False
+
+
+class OLCBPlusTree:
+    """B+-tree whose operations are OLC generator coroutines.
+
+    Synchronous wrappers (`insert`, `lookup`, `scan`) run an operation to
+    completion without interleaving; the ``*_op`` generators are what the
+    :class:`Scheduler` drives concurrently.
+    """
+
+    def __init__(self, capacity: int = 8,
+                 cost_model: CostModel = NULL_COST_MODEL) -> None:
+        if capacity < 4:
+            raise ValueError("capacity too small")
+        self.capacity = capacity
+        self.cost = cost_model
+        #: The root pointer is itself OLC-guarded (root replacement).
+        self._root_holder = OLCNode(is_leaf=False)
+        self._root_holder.payload = [OLCNode(is_leaf=True)]
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Coroutine operations
+    # ------------------------------------------------------------------
+    def insert_op(
+        self, key: bytes, tid: int
+    ) -> Generator[None, None, Optional[int]]:
+        """Insert coroutine; returns the replaced tid if any."""
+        while True:
+            try:
+                return (yield from self._insert_attempt(key, tid))
+            except Restart:
+                self.restarts += 1
+                yield  # back off one step before retrying
+
+    def _insert_attempt(self, key: bytes, tid: int):
+        holder = self._root_holder
+        yield
+        hv = holder.read_version()
+        node: OLCNode = holder.payload[0]
+        yield
+        v = node.read_version()
+        yield
+        # The root pointer we followed must not have been replaced.
+        holder.validate(hv)
+        parent: OLCNode = holder
+        pv = hv
+        parent_idx = 0
+        while True:
+            # Preventive split: a full node on the descent path is split
+            # now, while only (parent, node) need locking — this is what
+            # keeps OLC inserts single-level (Leis et al.).
+            if len(node.keys) >= self.capacity:
+                yield
+                parent.upgrade(pv)
+                try:
+                    yield
+                    node.upgrade(v)
+                except Restart:
+                    parent.unlock(changed=False)
+                    raise
+                self._split_child(parent, parent_idx, node)
+                node.unlock()
+                parent.unlock()
+                raise Restart()  # re-descend through the new separator
+            if node.is_leaf:
+                yield
+                node.upgrade(v)
+                # The path to this leaf may have changed while we
+                # descended; the version check above is the only guard
+                # we need — the leaf's own contents are now stable.
+                pos = bisect.bisect_left(node.keys, key)
+                self.cost.compares(max(1, len(node.keys)).bit_length())
+                if pos < len(node.keys) and node.keys[pos] == key:
+                    old = node.payload[pos]
+                    node.payload[pos] = tid
+                    node.unlock()
+                    return old
+                node.keys.insert(pos, key)
+                node.payload.insert(pos, tid)
+                node.unlock()
+                return None
+            idx = bisect.bisect_right(node.keys, key)
+            self.cost.compares(max(1, len(node.keys)).bit_length())
+            self.cost.rand_lines(1)
+            child: OLCNode = node.payload[idx]
+            yield
+            cv = child.read_version()
+            yield
+            node.validate(v)  # the child pointer we read was consistent
+            parent, pv, parent_idx = node, v, idx
+            node, v = child, cv
+
+    def _split_child(self, parent: OLCNode, idx: int, node: OLCNode) -> None:
+        """Split ``node`` (locked) under ``parent`` (locked)."""
+        mid = len(node.keys) // 2
+        right = OLCNode(node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[mid:]
+            right.payload = node.payload[mid:]
+            separator = right.keys[0]
+            del node.keys[mid:]
+            del node.payload[mid:]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+        else:
+            separator = node.keys[mid]
+            right.keys = node.keys[mid + 1 :]
+            right.payload = node.payload[mid + 1 :]
+            del node.keys[mid:]
+            del node.payload[mid + 1 :]
+        self.cost.copy_bytes(len(right.keys) * 16)
+        if parent is self._root_holder:
+            if len(parent.payload) == 1 and parent.payload[0] is node:
+                new_root = OLCNode(is_leaf=False)
+                new_root.keys = [separator]
+                new_root.payload = [node, right]
+                parent.payload[0] = new_root
+            else:  # the holder's child is an inner root: treat normally
+                root = parent.payload[0]
+                pos = bisect.bisect_right(root.keys, separator)
+                root.keys.insert(pos, separator)
+                root.payload.insert(pos + 1, right)
+        else:
+            parent.keys.insert(idx, separator)
+            parent.payload.insert(idx + 1, right)
+
+    def remove_op(
+        self, key: bytes
+    ) -> Generator[None, None, Optional[int]]:
+        """Delete coroutine; returns the removed tid if present.
+
+        Like most OLC B-trees, deletes only lock the leaf and tolerate
+        underfull leaves (no concurrent merges) — structure-shrinking
+        maintenance is left to offline reorganization.
+        """
+        while True:
+            try:
+                return (yield from self._remove_attempt(key))
+            except Restart:
+                self.restarts += 1
+                yield
+
+    def _remove_attempt(self, key: bytes):
+        holder = self._root_holder
+        yield
+        hv = holder.read_version()
+        node: OLCNode = holder.payload[0]
+        yield
+        v = node.read_version()
+        yield
+        holder.validate(hv)
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            self.cost.compares(max(1, len(node.keys)).bit_length())
+            self.cost.rand_lines(1)
+            child: OLCNode = node.payload[idx]
+            yield
+            cv = child.read_version()
+            yield
+            node.validate(v)
+            node, v = child, cv
+        yield
+        node.upgrade(v)
+        pos = bisect.bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            tid = node.payload[pos]
+            del node.keys[pos]
+            del node.payload[pos]
+            node.unlock()
+            return tid
+        node.unlock(changed=False)
+        return None
+
+    def lookup_op(
+        self, key: bytes
+    ) -> Generator[None, None, Optional[int]]:
+        while True:
+            try:
+                return (yield from self._lookup_attempt(key))
+            except Restart:
+                self.restarts += 1
+                yield
+
+    def _lookup_attempt(self, key: bytes):
+        holder = self._root_holder
+        yield
+        hv = holder.read_version()
+        node: OLCNode = holder.payload[0]
+        yield
+        v = node.read_version()
+        yield
+        holder.validate(hv)
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            self.cost.compares(max(1, len(node.keys)).bit_length())
+            self.cost.rand_lines(1)
+            child: OLCNode = node.payload[idx]
+            yield
+            cv = child.read_version()
+            yield
+            node.validate(v)
+            node, v = child, cv
+        pos = bisect.bisect_left(node.keys, key)
+        found = pos < len(node.keys) and node.keys[pos] == key
+        result = node.payload[pos] if found else None
+        yield
+        node.validate(v)  # the leaf was stable while we read it
+        return result
+
+    def scan_op(
+        self, start_key: bytes, count: int
+    ) -> Generator[None, None, List[Tuple[bytes, int]]]:
+        while True:
+            try:
+                return (yield from self._scan_attempt(start_key, count))
+            except Restart:
+                self.restarts += 1
+                yield
+
+    def _scan_attempt(self, start_key: bytes, count: int):
+        holder = self._root_holder
+        yield
+        hv = holder.read_version()
+        node: OLCNode = holder.payload[0]
+        yield
+        v = node.read_version()
+        yield
+        holder.validate(hv)
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, start_key)
+            child: OLCNode = node.payload[idx]
+            yield
+            cv = child.read_version()
+            yield
+            node.validate(v)
+            node, v = child, cv
+        out: List[Tuple[bytes, int]] = []
+        lower = start_key
+        while node is not None and len(out) < count:
+            pos = bisect.bisect_left(node.keys, lower)
+            chunk = list(zip(node.keys[pos:], node.payload[pos:]))
+            nxt = node.next_leaf
+            yield
+            node.validate(v)  # chunk + next pointer were consistent
+            out.extend(chunk[: count - len(out)])
+            node = nxt
+            if node is not None:
+                self.cost.rand_lines(1)
+                yield
+                v = node.read_version()
+                if node.keys:
+                    lower = node.keys[0]
+        return out
+
+    # ------------------------------------------------------------------
+    # Synchronous wrappers (single-threaded use / test oracles)
+    # ------------------------------------------------------------------
+    def _run(self, gen):
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def insert(self, key: bytes, tid: int) -> Optional[int]:
+        return self._run(self.insert_op(key, tid))
+
+    def lookup(self, key: bytes) -> Optional[int]:
+        return self._run(self.lookup_op(key))
+
+    def remove(self, key: bytes) -> Optional[int]:
+        return self._run(self.remove_op(key))
+
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, int]]:
+        return self._run(self.scan_op(start_key, count))
+
+    def __len__(self) -> int:
+        node = self._leftmost_leaf()
+        total = 0
+        while node is not None:
+            total += len(node.keys)
+            node = node.next_leaf
+        return total
+
+    def _leftmost_leaf(self) -> OLCNode:
+        node: OLCNode = self._root_holder.payload[0]
+        while not node.is_leaf:
+            node = node.payload[0]
+        return node
+
+    def items(self) -> List[Tuple[bytes, int]]:
+        out: List[Tuple[bytes, int]] = []
+        node = self._leftmost_leaf()
+        while node is not None:
+            out.extend(zip(node.keys, node.payload))
+            node = node.next_leaf
+        return out
+
+    def check_invariants(self) -> None:
+        """Quiescent structural checks (no concurrent ops running)."""
+
+        def walk(node: OLCNode, lo: Optional[bytes], hi: Optional[bytes]):
+            assert not node.locked, "lock leaked"
+            assert node.keys == sorted(node.keys)
+            assert len(node.keys) <= self.capacity
+            for key in node.keys:
+                if lo is not None:
+                    assert key >= lo
+                if hi is not None:
+                    assert key < hi
+            if node.is_leaf:
+                assert len(node.payload) == len(node.keys)
+                return [node]
+            assert len(node.payload) == len(node.keys) + 1
+            leaves = []
+            for i, child in enumerate(node.payload):
+                child_lo = node.keys[i - 1] if i > 0 else lo
+                child_hi = node.keys[i] if i < len(node.keys) else hi
+                leaves.extend(walk(child, child_lo, child_hi))
+            return leaves
+
+        leaves = walk(self._root_holder.payload[0], None, None)
+        chain = []
+        node = self._leftmost_leaf()
+        while node is not None:
+            chain.append(node)
+            node = node.next_leaf
+        assert chain == leaves, "leaf chain disagrees with tree"
+
+
+class Scheduler:
+    """Drives operation coroutines under a seeded random interleaving."""
+
+    def __init__(self, seed: int = 0) -> None:
+        import random
+
+        self._rng = random.Random(seed)
+        self._ops: List[Tuple[int, Generator]] = []
+        self._results = {}
+        self._next_id = 0
+
+    def spawn(self, gen: Generator) -> int:
+        """Register an operation; returns its id for result retrieval."""
+        op_id = self._next_id
+        self._next_id += 1
+        self._ops.append((op_id, gen))
+        return op_id
+
+    def run(self, max_steps: int = 10_000_000) -> dict:
+        """Interleave all spawned ops to completion; returns results."""
+        steps = 0
+        while self._ops:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("scheduler exceeded max steps (livelock?)")
+            idx = self._rng.randrange(len(self._ops))
+            op_id, gen = self._ops[idx]
+            try:
+                next(gen)
+            except StopIteration as stop:
+                self._results[op_id] = stop.value
+                self._ops.pop(idx)
+        results = self._results
+        self._results = {}
+        return results

@@ -1,0 +1,44 @@
+"""The elastic index framework (paper sections 3 and 4).
+
+The framework transforms an index with internal key storage into an
+elastic one: under memory pressure, leaf nodes are dynamically converted
+to a compact blind-trie representation with indirect key storage, and
+converted back when pressure subsides.  The design is parameterized by
+
+* the **compact node representation** (:mod:`repro.blindi`), and
+* the **elasticity algorithm**
+  (:class:`~repro.core.elasticity.ElasticityController` driving a
+  :class:`~repro.core.policies.GrowShrinkPolicy`),
+
+exactly the two parameters called out in section 3.
+:class:`~repro.core.elastic_btree.ElasticBPlusTree` is the paper's
+demonstration instance: an STX-style B+-tree whose conversions piggyback
+on leaf split/merge events.
+"""
+
+from repro.core.config import ElasticConfig
+from repro.core.elasticity import ElasticityController
+from repro.core.elastic_btree import ElasticBPlusTree
+from repro.core.elastic_variants import ElasticBwTree
+from repro.core.framework import ElasticHost, make_elastic
+from repro.core.policies import (
+    GrowShrinkPolicy,
+    PaperPolicy,
+    EagerCompactionPolicy,
+    ColdFirstPolicy,
+    NeverCompactPolicy,
+)
+
+__all__ = [
+    "ElasticConfig",
+    "ElasticityController",
+    "ElasticBPlusTree",
+    "ElasticBwTree",
+    "ElasticHost",
+    "make_elastic",
+    "GrowShrinkPolicy",
+    "PaperPolicy",
+    "EagerCompactionPolicy",
+    "ColdFirstPolicy",
+    "NeverCompactPolicy",
+]

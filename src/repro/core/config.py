@@ -1,0 +1,62 @@
+"""Configuration of the elastic B+-tree (paper sections 4-6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Type
+
+from repro.blindi.seqtrie import SeqTrieRep
+from repro.blindi.seqtree import SeqTreeRep
+
+
+@dataclass
+class ElasticConfig:
+    """Parameters of the elasticity algorithm and compact representation.
+
+    Defaults follow the paper's evaluated configuration (section 6.1):
+    SeqTree with tree level 2, compact leaves capped at 128 keys,
+    breathing parameter 4, shrink trigger at 90% of the soft bound.
+
+    Attributes:
+        size_bound_bytes: Soft bound on index size (section 4).
+        shrink_trigger_fraction: Enter the shrinking state when index
+            size reaches this fraction of the bound.
+        expand_trigger_fraction: Leave shrinking for expansion when index
+            size drops below this fraction (hysteresis).
+        max_compact_capacity: Cap on the compact-leaf capacity ladder
+            ("starting from a capacity of 16 keys and capping it at 128
+            works well").
+        rep_cls: Compact representation class (SeqTree by default; any
+            class with the SeqTrie interface works — the framework's
+            first parameter).
+        seqtree_levels: BlindiTree levels for SeqTree leaves.
+        breathing_slack: Breathing parameter ``s`` (section 5.4); ``None``
+            disables breathing.
+        expand_split_probability: In the expanding state, probability
+            that a search terminating at a compact leaf splits it back
+            down the capacity ladder (section 4, "Expansion").
+        rng_seed: Seed for the expansion-split coin flips, so experiments
+            are reproducible.
+    """
+
+    size_bound_bytes: int
+    shrink_trigger_fraction: float = 0.9
+    expand_trigger_fraction: float = 0.75
+    max_compact_capacity: int = 128
+    rep_cls: Type[SeqTrieRep] = SeqTreeRep
+    seqtree_levels: int = 2
+    breathing_slack: Optional[int] = 4
+    expand_split_probability: float = 0.05
+    rng_seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.max_compact_capacity < 8:
+            raise ValueError("max compact capacity too small")
+        if not 0 <= self.expand_split_probability <= 1:
+            raise ValueError("split probability must be in [0, 1]")
+
+    def rep_kwargs(self) -> dict:
+        """Constructor kwargs for the compact representation."""
+        if issubclass(self.rep_cls, SeqTreeRep):
+            return {"levels": self.seqtree_levels}
+        return {}

@@ -1,0 +1,307 @@
+"""The elasticity controller: the algorithm of paper section 4.
+
+The controller monitors index size against the soft bound (with
+hysteresis, via :class:`~repro.memory.budget.MemoryBudget`) and converts
+leaves between the standard and compact representations:
+
+* **Shrinking**: an insertion that overflows a full standard leaf
+  replaces it with a compact leaf of double the capacity instead of
+  splitting — saving the leaf space *and* the separator insertions in
+  the ancestors.  Overflowing compact leaves double their capacity up
+  the ladder (32 -> 64 -> 128); at the cap they split.
+* **Underflow** of a compact leaf (below the k+1 invariant) steps it
+  down the ladder, eventually reverting to a standard leaf.
+* **Expanding**: searches that terminate at a compact leaf randomly
+  split it down the ladder, so popular leaves regain standard-leaf
+  performance even without removals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.blindi.leaf import CompactLeaf
+from repro.btree.leaves import LeafNode
+from repro.btree.tree import BPlusTree, Path
+from repro.core.config import ElasticConfig
+from repro.core.policies import GrowShrinkPolicy, PaperPolicy
+from repro.memory.budget import MemoryBudget, PressureState
+from repro.table.table import Table
+
+
+@dataclass
+class ElasticityStats:
+    """Counters of elasticity actions (used by the operation-cost
+    breakdown experiment, section 6.1)."""
+
+    conversions_to_compact: int = 0
+    capacity_promotions: int = 0
+    capacity_stepdowns: int = 0
+    reversions_to_standard: int = 0
+    expansion_splits: int = 0
+    state_transitions: int = 0
+    #: Weighted cost units spent inside conversion work.
+    conversion_cost_units: float = 0.0
+
+
+class ElasticityController:
+    """Implements the elasticity algorithm over a host B+-tree."""
+
+    def __init__(
+        self,
+        config: ElasticConfig,
+        table: Table,
+        policy: Optional[GrowShrinkPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.table = table
+        self.policy = policy if policy is not None else PaperPolicy()
+        self.budget = MemoryBudget(
+            config.size_bound_bytes,
+            config.shrink_trigger_fraction,
+            config.expand_trigger_fraction,
+        )
+        self.rng = random.Random(config.rng_seed)
+        self.stats = ElasticityStats()
+        self.tree: Optional[BPlusTree] = None
+        #: Deferred policy actions: state-change hooks fire inside
+        #: overflow/underflow handling, where structural rewrites of
+        #: unrelated leaves would invalidate the in-flight operation's
+        #: path.  Policies queue work here; the elastic tree drains it at
+        #: operation boundaries.
+        self.pending_actions: List = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, tree: BPlusTree) -> None:
+        """Install the elastic overflow/underflow handlers on ``tree``."""
+        self.tree = tree
+        tree.overflow_handler = self._handle_overflow
+        tree.underflow_handler = self._handle_underflow
+
+    @property
+    def state(self) -> PressureState:
+        return self.budget.state
+
+    def observe(self) -> PressureState:
+        """Re-evaluate the pressure state from the current index size."""
+        assert self.tree is not None
+        previous = self.budget.state
+        state = self.budget.observe(self.tree.index_bytes)
+        if (
+            state is PressureState.EXPANDING
+            and self.tree.allocator.bytes_in("leaf.compact") == 0
+        ):
+            # Fully decompacted: expansion is complete.
+            self.budget.settle()
+            state = self.budget.state
+        if state is not previous:
+            self.stats.state_transitions += 1
+            self.policy.on_state_change(self, state)
+        return state
+
+    def run_pending(self) -> None:
+        """Execute policy actions deferred to an operation boundary."""
+        while self.pending_actions:
+            action = self.pending_actions.pop(0)
+            action()
+
+    # ------------------------------------------------------------------
+    # Leaf construction helpers
+    # ------------------------------------------------------------------
+    def _make_compact(
+        self, capacity: int, items=None, rep=None
+    ) -> CompactLeaf:
+        assert self.tree is not None
+        leaf = CompactLeaf(
+            capacity,
+            self.table,
+            self.tree.allocator,
+            self.tree.cost,
+            self.tree.key_width,
+            rep_cls=self.config.rep_cls,
+            rep_kwargs=self.config.rep_kwargs(),
+            breathing_slack=self.config.breathing_slack,
+            items=items,
+            rep=rep,
+        )
+        leaf.elastic_underflow = True
+        return leaf
+
+    # ------------------------------------------------------------------
+    # Overflow: shrink by converting instead of splitting
+    # ------------------------------------------------------------------
+    def _handle_overflow(
+        self, tree: BPlusTree, path: Path, leaf: LeafNode, key: bytes, tid: int
+    ) -> None:
+        state = self.observe()
+        action = self.policy.overflow_action(self, leaf, state)
+        if action == "split":
+            tree.split_leaf_and_insert(path, leaf, key, tid)
+            return
+        with tree.cost.measure() as delta, \
+                tree.cost.attributed_to("elastic.convert"):
+            if isinstance(leaf, CompactLeaf):
+                new_leaf = leaf.with_capacity(leaf.capacity * 2)
+                self.stats.capacity_promotions += 1
+            else:
+                # Converting a standard leaf: its keys are in memory, so
+                # building the blind trie needs no table loads.
+                keys, tids = leaf.keys_and_tids()
+                new_leaf = self._make_compact(
+                    2 * tree.leaf_capacity, items=list(zip(keys, tids))
+                )
+                self.stats.conversions_to_compact += 1
+            tree.replace_leaf(path, leaf, new_leaf)
+        self.stats.conversion_cost_units += delta.weighted_cost()
+        new_leaf.upsert(key, tid)
+
+    # ------------------------------------------------------------------
+    # Underflow: step down the capacity ladder
+    # ------------------------------------------------------------------
+    def _handle_underflow(
+        self, tree: BPlusTree, path: Path, leaf: LeafNode
+    ) -> None:
+        state = self.observe()
+        action = self.policy.underflow_action(self, leaf, state)
+        if action == "rebalance" or not isinstance(leaf, CompactLeaf):
+            tree.rebalance_leaf(path, leaf)
+            return
+        half = leaf.capacity // 2
+        with tree.cost.measure() as delta, \
+                tree.cost.attributed_to("elastic.convert"):
+            if half > tree.leaf_capacity:
+                new_leaf: LeafNode = leaf.with_capacity(half)
+                self.stats.capacity_stepdowns += 1
+            else:
+                # Reverting to a standard leaf re-materializes the keys:
+                # one table load per key, the expansion cost of section 4.
+                keys, tids = leaf.keys_and_tids()
+                new_leaf = tree.make_standard_leaf(list(zip(keys, tids)))
+                self.stats.reversions_to_standard += 1
+            tree.replace_leaf(path, leaf, new_leaf)
+        self.stats.conversion_cost_units += delta.weighted_cost()
+        self.observe()
+
+    # ------------------------------------------------------------------
+    # Expansion: random splits of popular compact leaves
+    # ------------------------------------------------------------------
+    def on_search_leaf(self, path: Path, leaf: LeafNode) -> bool:
+        """Called by the elastic tree after a search terminates at
+        ``leaf``; may split the leaf down the ladder (section 4,
+        "Expansion").  Returns True if the leaf was replaced."""
+        if self.budget.state is not PressureState.EXPANDING:
+            return False
+        if not isinstance(leaf, CompactLeaf) or leaf.count < 2:
+            return False
+        probability = self.policy.expansion_split_probability(self, leaf)
+        if probability <= 0.0 or self.rng.random() >= probability:
+            return False
+        self._expansion_split(path, leaf)
+        return True
+
+    def _expansion_split(self, path: Path, leaf: CompactLeaf) -> None:
+        tree = self.tree
+        assert tree is not None
+        half = leaf.capacity // 2
+        with tree.cost.measure() as delta:
+            if half > tree.leaf_capacity:
+                right_rep = leaf.rep.split()
+                left: LeafNode = self._make_compact(half, rep=leaf.rep)
+                right: LeafNode = self._make_compact(half, rep=right_rep)
+            else:
+                keys, tids = leaf.keys_and_tids()
+                mid = len(keys) // 2
+                left = tree.make_standard_leaf(list(zip(keys[:mid], tids[:mid])))
+                right = tree.make_standard_leaf(list(zip(keys[mid:], tids[mid:])))
+            separator = right.first_key()
+            tree.replace_leaf(path, leaf, left)
+            right.link_after(left)
+            tree.insert_separator(path, separator, right)
+        self.stats.expansion_splits += 1
+        self.stats.conversion_cost_units += delta.weighted_cost()
+        self.observe()
+
+    # ------------------------------------------------------------------
+    # Cold-first sweeps (ColdFirstPolicy: section 4's future-work policy)
+    # ------------------------------------------------------------------
+    def compact_cold_sweep(
+        self, hand_key: Optional[bytes], sweep_len: int = 16
+    ) -> Optional[bytes]:
+        """CLOCK-style sweep converting cold standard leaves.
+
+        Advances a clock hand over up to ``sweep_len`` leaves starting at
+        ``hand_key`` (the whole index, incrementally, over many sweeps):
+        standard leaves that were never queried since the last visit are
+        converted to the compact representation; queried ones get a
+        second chance (their access counter is halved).  Returns the new
+        hand position, or ``None`` when the sweep wrapped.
+        """
+        tree = self.tree
+        assert tree is not None
+        if hand_key is None:
+            leaf: Optional[LeafNode] = tree.first_leaf
+        else:
+            _, leaf = tree.descend(hand_key)
+        steps = 0
+        while leaf is not None and steps < sweep_len:
+            successor = leaf.next_leaf
+            if not leaf.is_compact and leaf.count > 0:
+                if leaf.access_count == 0:
+                    self._compact_cold_leaf(leaf)
+                else:
+                    leaf.access_count >>= 1  # aging (second chance)
+            steps += 1
+            leaf = successor
+        self.observe()
+        if leaf is None or leaf.count == 0:
+            return None
+        return leaf.first_key()
+
+    def _compact_cold_leaf(self, leaf: LeafNode) -> None:
+        tree = self.tree
+        assert tree is not None
+        path, found = tree.descend(leaf.first_key())
+        if found is not leaf:  # structure moved under the sweep
+            return
+        with tree.cost.measure() as delta, \
+                tree.cost.attributed_to("elastic.convert"):
+            keys, tids = leaf.keys_and_tids()
+            capacity = min(
+                self.config.max_compact_capacity,
+                max(2 * tree.leaf_capacity, 1 << max(0, leaf.count - 1).bit_length()),
+            )
+            new_leaf = self._make_compact(capacity, items=list(zip(keys, tids)))
+            tree.replace_leaf(path, leaf, new_leaf)
+        self.stats.conversions_to_compact += 1
+        self.stats.conversion_cost_units += delta.weighted_cost()
+
+    # ------------------------------------------------------------------
+    # Bulk compaction (EagerCompactionPolicy / ablation)
+    # ------------------------------------------------------------------
+    def bulk_compact(self) -> int:
+        """Convert every standard leaf to a compact leaf at once.
+
+        Models wholesale compaction (hybrid indexes, section 2); returns
+        the number of leaves converted.
+        """
+        tree = self.tree
+        assert tree is not None
+        converted = 0
+        for path, node in list(tree.iter_leaves_with_paths()):
+            if isinstance(node, CompactLeaf) or node.count == 0:
+                continue
+            keys, tids = node.keys_and_tids()
+            capacity = max(
+                2 * tree.leaf_capacity, 1 << (node.count - 1).bit_length()
+            )
+            capacity = min(capacity, self.config.max_compact_capacity)
+            new_leaf = self._make_compact(capacity, items=list(zip(keys, tids)))
+            tree.replace_leaf(path, node, new_leaf)
+            converted += 1
+        self.stats.conversions_to_compact += converted
+        self.observe()
+        return converted

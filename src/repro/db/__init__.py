@@ -1,0 +1,15 @@
+"""A minimal in-memory DBMS facade: tables with multiple secondary indexes.
+
+This is the paper's motivating setting made concrete (section 1): a
+table with "many high-cardinality columns that require indexing,
+resulting in index sizes that are roughly the same size as the data set
+— i.e., indexes take up >= 50% of DBMS memory".  A
+:class:`~repro.db.database.Database` hosts fixed-schema tables, each
+with any number of ordered secondary indexes over column tuples; every
+index can independently be a plain B+-tree, an elastic B+-tree with its
+own slice of the memory budget, or any registered comparator.
+"""
+
+from repro.db.database import Database, DBTable, SecondaryIndex, TableView
+
+__all__ = ["Database", "DBTable", "SecondaryIndex", "TableView"]

@@ -1,0 +1,261 @@
+"""Tables with multiple ordered secondary indexes over one row store."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import build_index
+from repro.keys.encoding import encode_f64, encode_i64, encode_str
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.cost_model import CostModel
+from repro.table.table import RowSchema, Table
+
+
+def _encode_column(value, ctype: str, width: int) -> bytes:
+    """Order-preserving encoding of one typed column value."""
+    if ctype == "u64":
+        return int(value).to_bytes(width, "big")
+    if ctype == "i64":
+        return encode_i64(int(value))
+    if ctype == "f64":
+        return encode_f64(float(value))
+    return encode_str(str(value), width)
+
+
+class TableView:
+    """A per-index view of a table: same rows, index-specific keys.
+
+    Every secondary index extracts its key from different columns of the
+    same stored row; compact (blind-trie) leaves load keys through their
+    view, charging the same indirect access as a dedicated table would.
+    """
+
+    def __init__(self, table: Table, key_of_row) -> None:
+        self._table = table
+        self._key_of_row = key_of_row
+
+    def load_key(self, tid: int) -> bytes:
+        row = self._table._rows[tid]
+        if row is None:
+            raise KeyError(f"tuple id {tid} is not live")
+        self._table.cost_model.key_loads(1)
+        return self._key_of_row(row)
+
+    def load_key_batched(self, tid: int) -> bytes:
+        row = self._table._rows[tid]
+        if row is None:
+            raise KeyError(f"tuple id {tid} is not live")
+        self._table.cost_model.key_loads_batched(1)
+        return self._key_of_row(row)
+
+    def peek_key(self, tid: int) -> bytes:
+        row = self._table._rows[tid]
+        if row is None:
+            raise KeyError(f"tuple id {tid} is not live")
+        return self._key_of_row(row)
+
+
+class SecondaryIndex:
+    """One ordered secondary index over a column tuple."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Tuple[str, ...],
+        widths: Tuple[int, ...],
+        positions: Tuple[int, ...],
+        index,
+        view: TableView,
+        types: Tuple[str, ...] = (),
+    ) -> None:
+        self.name = name
+        self.columns = columns
+        self.widths = widths
+        self.types = types or tuple("u64" for _ in columns)
+        self._positions = positions
+        self.index = index
+        self.view = view
+
+    @property
+    def key_width(self) -> int:
+        return sum(self.widths)
+
+    def key_of_values(self, values: Sequence) -> bytes:
+        """Order-preserving concatenation of the typed column values."""
+        if len(values) != len(self.widths):
+            raise ValueError(
+                f"index {self.name!r} needs {len(self.widths)} values"
+            )
+        return b"".join(
+            _encode_column(v, t, w)
+            for v, t, w in zip(values, self.types, self.widths)
+        )
+
+    def key_of_row(self, row: Tuple[int, ...]) -> bytes:
+        return self.key_of_values([row[p] for p in self._positions])
+
+    @property
+    def index_bytes(self) -> int:
+        return self.index.index_bytes
+
+
+class DBTable:
+    """A fixed-schema table plus its secondary indexes."""
+
+    def __init__(self, db: "Database", schema: RowSchema) -> None:
+        self.db = db
+        self.schema = schema
+        self.table = Table(
+            key_of_row=lambda row: b"",  # primary access is by tid
+            row_bytes=schema.row_bytes,
+            cost_model=db.cost,
+            allocator=db.allocator,
+        )
+        self.indexes: Dict[str, SecondaryIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_index(
+        self,
+        name: str,
+        columns: Sequence[str],
+        kind: str = "stx",
+        size_bound_bytes: Optional[int] = None,
+        **index_kwargs,
+    ) -> SecondaryIndex:
+        """Create an ordered secondary index over ``columns``.
+
+        ``kind`` is any benchmark index name (``stx``, ``elastic``,
+        ``hot``, ...); elastic indexes take their own
+        ``size_bound_bytes`` slice of the memory budget.  Existing rows
+        are back-filled.
+        """
+        if name in self.indexes:
+            raise ValueError(f"index {name!r} already exists")
+        positions = tuple(self.schema.column_names.index(c) for c in columns)
+        widths = tuple(self.schema.column_widths[p] for p in positions)
+        types = tuple(self.schema.type_of(p) for p in positions)
+        secondary = SecondaryIndex(
+            name, tuple(columns), widths, positions, None, None, types
+        )
+        view = TableView(self.table, secondary.key_of_row)
+        # Each index gets its own allocator so its footprint (and, for
+        # elastic indexes, its budget observations) is isolated; the
+        # shared cost model keeps one performance ledger.
+        index = build_index(
+            kind,
+            table=view,
+            allocator=TrackingAllocator(cost_model=self.db.cost),
+            cost=self.db.cost,
+            key_width=secondary.key_width,
+            size_bound_bytes=size_bound_bytes,
+            **index_kwargs,
+        )
+        secondary.index = index
+        secondary.view = view
+        self.indexes[name] = secondary
+        # Back-fill existing rows.
+        for tid in range(len(self.table._rows)):
+            row = self.table._rows[tid]
+            if row is not None:
+                index.insert(secondary.key_of_row(row), tid)
+        return secondary
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[int]) -> int:
+        """Store a row and update every secondary index."""
+        row = tuple(row)
+        if len(row) != len(self.schema.column_names):
+            raise ValueError(
+                f"row has {len(row)} columns, schema needs "
+                f"{len(self.schema.column_names)}"
+            )
+        tid = self.table.insert_row(row)
+        for secondary in self.indexes.values():
+            secondary.index.insert(secondary.key_of_row(row), tid)
+        return tid
+
+    def delete(self, tid: int) -> Tuple[int, ...]:
+        """Remove a row from the store and every index."""
+        row = self.table.row(tid)
+        for secondary in self.indexes.values():
+            secondary.index.remove(secondary.key_of_row(row))
+        self.table.delete_row(tid)
+        return row
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, index_name: str, values: Sequence[int]) -> Optional[Tuple]:
+        """Point query through an index; returns the row or None."""
+        secondary = self.indexes[index_name]
+        tid = secondary.index.lookup(secondary.key_of_values(values))
+        if tid is None:
+            return None
+        return self.table.row(tid)
+
+    def scan(
+        self, index_name: str, start_values: Sequence[int], count: int
+    ) -> List[Tuple]:
+        """Range query: ``count`` rows from ``start_values`` in index order."""
+        secondary = self.indexes[index_name]
+        start = secondary.key_of_values(start_values)
+        return [
+            self.table.row(tid)
+            for _, tid in secondary.index.scan(start, count)
+        ]
+
+    def included_scan(
+        self, index_name: str, start_values: Sequence[int], count: int
+    ) -> List[bytes]:
+        """Included-column query (section 2): answered from index keys
+        alone — no row fetches on internal-key leaves."""
+        secondary = self.indexes[index_name]
+        start = secondary.key_of_values(start_values)
+        return [key for key, _ in secondary.index.scan(start, count)]
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def memory_report(self) -> Dict[str, float]:
+        """Dataset vs. index memory — the section 1 overhead numbers."""
+        index_bytes = {
+            name: s.index_bytes for name, s in self.indexes.items()
+        }
+        total_index = sum(index_bytes.values())
+        dataset = self.table.dataset_bytes
+        total = dataset + total_index
+        return {
+            "dataset_bytes": dataset,
+            "index_bytes_total": total_index,
+            "index_fraction_of_memory": total_index / total if total else 0.0,
+            **{f"index_bytes[{n}]": b for n, b in index_bytes.items()},
+        }
+
+
+class Database:
+    """A set of tables sharing one cost account and allocator."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.allocator = TrackingAllocator(cost_model=self.cost)
+        self.tables: Dict[str, DBTable] = {}
+
+    def create_table(self, schema: RowSchema) -> DBTable:
+        if schema.name in self.tables:
+            raise ValueError(f"table {schema.name!r} already exists")
+        table = DBTable(self, schema)
+        self.tables[schema.name] = table
+        return table
+
+    @staticmethod
+    def split_budget(total_bytes: int, shares: Sequence[float]) -> List[int]:
+        """Divide an index memory budget across indexes by weight."""
+        weight = sum(shares)
+        return [int(total_bytes * share / weight) for share in shares]

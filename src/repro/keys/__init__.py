@@ -1,0 +1,57 @@
+"""Order-preserving key encodings and bit-level operations on keys.
+
+Every index in this library operates on fixed-width byte-string keys whose
+lexicographic byte order matches the logical order of the encoded values.
+This mirrors the paper's setting: the STX B+-tree compares keys with
+``memcmp`` and the blind tries (SeqTrie/SubTrie/SeqTree) discriminate keys
+by bit position, numbering bits from zero starting at the most significant
+bit of the first byte (paper section 5.2).
+"""
+
+from repro.keys.encoding import (
+    KeySpec,
+    U64,
+    U128,
+    STR30,
+    encode_u64,
+    decode_u64,
+    encode_u128,
+    decode_u128,
+    encode_i64,
+    decode_i64,
+    encode_f64,
+    decode_f64,
+    encode_str,
+    decode_str,
+)
+from repro.keys.bitops import (
+    get_bit,
+    first_diff_bit,
+    common_prefix_bits,
+    set_bit,
+    key_to_int,
+    int_to_key,
+)
+
+__all__ = [
+    "KeySpec",
+    "U64",
+    "U128",
+    "STR30",
+    "encode_u64",
+    "decode_u64",
+    "encode_u128",
+    "decode_u128",
+    "encode_i64",
+    "decode_i64",
+    "encode_f64",
+    "decode_f64",
+    "encode_str",
+    "decode_str",
+    "get_bit",
+    "first_diff_bit",
+    "common_prefix_bits",
+    "set_bit",
+    "key_to_int",
+    "int_to_key",
+]

@@ -1,0 +1,63 @@
+"""Bit-level operations on byte-string keys.
+
+Bit numbering follows the paper (section 5.2): bit 0 is the most
+significant bit of the first byte, so smaller bit indices are more
+significant.  The *discriminating bit* between two distinct keys is the
+smallest bit index at which they differ; for keys ``a < b`` (bytewise),
+``a`` has a 0 and ``b`` has a 1 at that position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def key_to_int(key: bytes) -> int:
+    """Interpret a key as a big-endian unsigned integer."""
+    return int.from_bytes(key, "big")
+
+
+def int_to_key(value: int, width: int) -> bytes:
+    """Inverse of :func:`key_to_int` for a ``width``-byte key."""
+    return value.to_bytes(width, "big")
+
+
+def get_bit(key: bytes, bit: int) -> int:
+    """Return bit ``bit`` of ``key`` (0 = MSB of first byte)."""
+    byte = key[bit >> 3]
+    return (byte >> (7 - (bit & 7))) & 1
+
+
+def set_bit(key: bytes, bit: int, value: int) -> bytes:
+    """Return a copy of ``key`` with bit ``bit`` set to ``value``."""
+    buf = bytearray(key)
+    mask = 1 << (7 - (bit & 7))
+    if value:
+        buf[bit >> 3] |= mask
+    else:
+        buf[bit >> 3] &= ~mask
+    return bytes(buf)
+
+
+def first_diff_bit(a: bytes, b: bytes) -> Optional[int]:
+    """Return the discriminating bit between two equal-width keys.
+
+    Returns ``None`` if the keys are identical.  For distinct keys, the
+    result is the smallest bit index at which they differ; because bit 0
+    is the most significant bit, the key with a 0 at that position is the
+    lexicographically smaller one.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"key widths differ: {len(a)} vs {len(b)}")
+    x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    if x == 0:
+        return None
+    return len(a) * 8 - x.bit_length()
+
+
+def common_prefix_bits(a: bytes, b: bytes) -> int:
+    """Number of leading bits shared by two equal-width keys."""
+    diff = first_diff_bit(a, b)
+    if diff is None:
+        return len(a) * 8
+    return diff

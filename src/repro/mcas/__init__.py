@@ -1,0 +1,20 @@
+"""MCAS-style in-memory storage substrate (paper section 6.3).
+
+MCAS [29] is a network-attached in-memory store with a partitioned
+architecture (one single-threaded execution engine per partition) whose
+custom functionality is provided by Active Data Object (ADO) plugins
+[30].  The paper implements an indexed multi-column table as an ADO and
+measures end-to-end throughput, where index work is only part of each
+operation — which is why large index-level slowdowns shrink to 0.5-2.6%
+end to end.
+
+This model reproduces exactly that structure: a partitioned store that
+charges a fixed network + engine dispatch cost per client operation and
+delegates to an ADO holding a row table plus a pluggable ordered index.
+"""
+
+from repro.mcas.store import MCASStore
+from repro.mcas.ado import IndexedTableADO
+from repro.mcas.persistence import DurableADO, PMDevice
+
+__all__ = ["MCASStore", "IndexedTableADO", "DurableADO", "PMDevice"]

@@ -1,0 +1,194 @@
+"""Durability substrate for the MCAS store (write-ahead log + snapshots).
+
+MCAS is "built from the ground up to support advanced storage
+technologies, such as persistent memory" [29].  This module provides the
+simulated equivalent: a persistent-memory device with explicit flush
+boundaries, a write-ahead log of ADO mutations with group commit, and
+checkpoint/recover.  Indexes are volatile and rebuilt on recovery from
+the recovered table — the standard design for indexes over persistent
+data (and what makes index elasticity safe: compact and standard leaves
+are equally reconstructible).
+
+Crash semantics: everything appended since the last ``flush()`` is lost
+(`PMDevice.crash()`), which the failure-injection tests exploit.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+from repro.workloads.iotta import LogRow
+
+_RECORD = struct.Struct(">BQQQQ")  # op tag + four u64 columns
+_OP_INGEST = 1
+_OP_EVICT = 2
+
+
+class PMDevice:
+    """A persistent-memory log device with explicit flush boundaries.
+
+    Appends land in a volatile tail until ``flush()`` makes them
+    durable; ``crash()`` discards the tail.  A separate snapshot area
+    holds at most one checkpoint image (written atomically by
+    ``install_snapshot``).
+    """
+
+    def __init__(self, cost_model: CostModel = NULL_COST_MODEL) -> None:
+        self.cost = cost_model
+        self._durable: List[bytes] = []
+        self._tail: List[bytes] = []
+        self._snapshot: Optional[bytes] = None
+        self._snapshot_log_position = 0
+        self.flush_count = 0
+
+    # -- log ---------------------------------------------------------------
+    def append(self, record: bytes) -> None:
+        self._tail.append(record)
+        self.cost.copy_bytes(len(record))
+
+    def flush(self) -> None:
+        """Persist the tail (one device write barrier)."""
+        if self._tail:
+            self._durable.extend(self._tail)
+            self._tail.clear()
+        self.flush_count += 1
+        self.cost.fixed_ops(4.0)  # CLWB + fence latency
+
+    def crash(self) -> None:
+        """Power failure: the unflushed tail evaporates."""
+        self._tail.clear()
+
+    def durable_records(self) -> List[bytes]:
+        """Records that survive a crash, after the snapshot position."""
+        return self._durable[self._snapshot_log_position :]
+
+    # -- snapshot -------------------------------------------------------------
+    def install_snapshot(self, image: bytes) -> None:
+        """Atomically replace the checkpoint and truncate the log: records
+        up to this point are folded into the image."""
+        self._snapshot = image
+        self._snapshot_log_position = len(self._durable)
+        self.cost.copy_bytes(len(image))
+        self.flush_count += 1
+
+    @property
+    def snapshot(self) -> Optional[bytes]:
+        return self._snapshot
+
+    @property
+    def log_bytes(self) -> int:
+        return sum(len(r) for r in self._durable) + sum(
+            len(r) for r in self._tail
+        )
+
+
+def encode_ingest(row: LogRow) -> bytes:
+    return _RECORD.pack(
+        _OP_INGEST, row.timestamp, row.op_type, row.object_id, row.size
+    )
+
+
+def encode_evict(key: bytes) -> bytes:
+    timestamp = int.from_bytes(key[:8], "big")
+    object_id = int.from_bytes(key[8:16], "big")
+    return _RECORD.pack(_OP_EVICT, timestamp, 0, object_id, 0)
+
+
+def decode_record(record: bytes) -> Tuple[int, LogRow]:
+    tag, timestamp, op_type, object_id, size = _RECORD.unpack(record)
+    return tag, LogRow(timestamp, op_type, object_id, size)
+
+
+class DurableADO:
+    """Wraps an indexed-table ADO with write-ahead logging.
+
+    Mutations are logged before being applied; the log is flushed every
+    ``group_commit`` operations (group commit trades a bounded window of
+    data loss for throughput, exactly as persistent-memory stores do).
+    ``checkpoint()`` serializes the live rows and truncates the log.
+    """
+
+    def __init__(
+        self,
+        ado,
+        device: PMDevice,
+        group_commit: int = 32,
+    ) -> None:
+        if group_commit < 1:
+            raise ValueError("group_commit must be >= 1")
+        self.ado = ado
+        self.device = device
+        self.group_commit = group_commit
+        self._pending = 0
+
+    def _log(self, record: bytes) -> None:
+        self.device.append(record)
+        self._pending += 1
+        if self._pending >= self.group_commit:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the log to durability."""
+        self.device.flush()
+        self._pending = 0
+
+    # -- mutations ----------------------------------------------------------
+    def ingest(self, row: LogRow) -> int:
+        self._log(encode_ingest(row))
+        return self.ado.ingest(row)
+
+    def evict(self, key: bytes) -> bool:
+        self._log(encode_evict(key))
+        return self.ado.evict(key)
+
+    # -- reads pass through ----------------------------------------------------
+    def lookup(self, key: bytes):
+        return self.ado.lookup(key)
+
+    def scan(self, start_key: bytes, count: int):
+        return self.ado.scan(start_key, count)
+
+    # -- checkpoint / recovery ---------------------------------------------------
+    def checkpoint(self) -> None:
+        """Serialize all live rows into the snapshot area; truncates the
+        recovery log."""
+        self.sync()
+        rows = [row for _, tid in self.ado.index.scan(b"\x00" * 16, 1 << 60)
+                for row in [self.ado.table.row(tid)]]
+        image = b"".join(encode_ingest(row) for row in rows)
+        self.device.install_snapshot(image)
+
+    @staticmethod
+    def recover(
+        device: PMDevice,
+        ado_factory: Callable[[], object],
+        group_commit: int = 32,
+    ) -> "DurableADO":
+        """Rebuild an ADO from the snapshot plus the durable log suffix.
+
+        The index is volatile: it is rebuilt by re-ingesting recovered
+        rows (evict records cancel earlier ingests).
+        """
+        ado = ado_factory()
+        image = device.snapshot or b""
+        for offset in range(0, len(image), _RECORD.size):
+            _, row = decode_record(image[offset : offset + _RECORD.size])
+            ado.ingest(row)
+        for record in device.durable_records():
+            tag, row = decode_record(record)
+            if tag == _OP_INGEST:
+                ado.ingest(row)
+            else:
+                ado.evict(row.index_key())
+        return DurableADO(ado, device, group_commit)
+
+    # -- reporting -------------------------------------------------------------
+    @property
+    def index_bytes(self) -> int:
+        return self.ado.index_bytes
+
+    @property
+    def dataset_bytes(self) -> int:
+        return self.ado.dataset_bytes

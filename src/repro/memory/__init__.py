@@ -1,0 +1,32 @@
+"""Memory substrate: byte-exact space accounting and a machine cost model.
+
+The paper's evaluation machine (Broadwell Xeon, DDR4, jemalloc) cannot be
+reproduced from CPython, so this package provides the two simulated
+substrates that all experiments are built on:
+
+* :class:`~repro.memory.allocator.TrackingAllocator` — byte-exact space
+  accounting with optional jemalloc-style size-class rounding, used to
+  regenerate every "index memory consumption" figure.
+* :class:`~repro.memory.cost_model.CostModel` — a deterministic memory
+  hierarchy cost model that charges every index operation for the cache
+  line touches, indirect key loads, comparisons, allocations, and copies
+  it performs.  Operation "throughput" in the benchmark harness is
+  ``ops / weighted cost``, which preserves the relative shapes the paper
+  reports (who wins, by what factor, and where curves cross).
+* :class:`~repro.memory.budget.MemoryBudget` — the soft size bound with
+  hysteresis that drives the elasticity algorithm (paper section 4).
+"""
+
+from repro.memory.allocator import TrackingAllocator, jemalloc_size_class
+from repro.memory.cost_model import CostModel, CostWeights, NULL_COST_MODEL
+from repro.memory.budget import MemoryBudget, PressureState
+
+__all__ = [
+    "TrackingAllocator",
+    "jemalloc_size_class",
+    "CostModel",
+    "CostWeights",
+    "NULL_COST_MODEL",
+    "MemoryBudget",
+    "PressureState",
+]

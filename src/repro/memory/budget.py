@@ -1,0 +1,103 @@
+"""Soft memory budget with hysteresis (paper section 4).
+
+The elasticity algorithm "is configured with a soft size bound ... When
+the index size grows close to the bound (e.g., reaches 90% of it), the
+algorithm enters a shrinking state ... the algorithm switches from
+shrinking to expansion only when the index size decreases far enough from
+the size bound".  :class:`MemoryBudget` encodes exactly that state
+machine; the elasticity controller consults it after every size change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PressureState(enum.Enum):
+    """Elasticity state of the index (paper section 4)."""
+
+    NORMAL = "normal"
+    SHRINKING = "shrinking"
+    EXPANDING = "expanding"
+
+
+@dataclass
+class MemoryBudget:
+    """Tracks index size against a soft bound and drives state transitions.
+
+    Attributes:
+        soft_bound_bytes: The maximum size the index should be allowed to
+            grow to.
+        shrink_trigger_fraction: Entering SHRINKING when size reaches this
+            fraction of the bound (paper's example: 0.9).
+        expand_trigger_fraction: Leaving SHRINKING for EXPANDING when size
+            drops below this fraction of the bound.  Must be strictly less
+            than ``shrink_trigger_fraction`` to provide hysteresis and
+            prevent oscillation.
+    """
+
+    soft_bound_bytes: int
+    shrink_trigger_fraction: float = 0.9
+    expand_trigger_fraction: float = 0.75
+    state: PressureState = field(default=PressureState.NORMAL)
+    transitions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.soft_bound_bytes <= 0:
+            raise ValueError("soft bound must be positive")
+        if not 0 < self.expand_trigger_fraction < self.shrink_trigger_fraction <= 1:
+            raise ValueError(
+                "need 0 < expand_trigger < shrink_trigger <= 1 for hysteresis, "
+                f"got expand={self.expand_trigger_fraction}, "
+                f"shrink={self.shrink_trigger_fraction}"
+            )
+
+    @property
+    def shrink_threshold_bytes(self) -> int:
+        """Size at which the index enters the shrinking state."""
+        return int(self.soft_bound_bytes * self.shrink_trigger_fraction)
+
+    @property
+    def expand_threshold_bytes(self) -> int:
+        """Size below which a shrinking index switches to expansion."""
+        return int(self.soft_bound_bytes * self.expand_trigger_fraction)
+
+    def observe(self, current_bytes: int) -> PressureState:
+        """Update the state machine with the current index size.
+
+        Transitions (paper section 4):
+
+        * NORMAL -> SHRINKING when size reaches the shrink threshold.
+        * SHRINKING -> EXPANDING when size decreases "far enough from the
+          size bound" (below the expand threshold).
+        * EXPANDING -> SHRINKING if size climbs back to the shrink
+          threshold.
+        * EXPANDING -> NORMAL once the index has fully decompacted is the
+          controller's decision (it knows the compact-leaf census), not
+          the budget's; EXPANDING therefore persists here.
+        """
+        previous = self.state
+        if self.state is PressureState.NORMAL:
+            if current_bytes >= self.shrink_threshold_bytes:
+                self.state = PressureState.SHRINKING
+        elif self.state is PressureState.SHRINKING:
+            if current_bytes < self.expand_threshold_bytes:
+                self.state = PressureState.EXPANDING
+        elif self.state is PressureState.EXPANDING:
+            if current_bytes >= self.shrink_threshold_bytes:
+                self.state = PressureState.SHRINKING
+        if self.state is not previous:
+            self.transitions += 1
+        return self.state
+
+    def settle(self) -> None:
+        """Return to NORMAL (called by the controller when no compact
+        leaves remain during expansion)."""
+        if self.state is PressureState.EXPANDING:
+            self.state = PressureState.NORMAL
+            self.transitions += 1
+
+    def headroom_bytes(self, current_bytes: int) -> int:
+        """Bytes remaining before the shrink threshold is reached."""
+        return self.shrink_threshold_bytes - current_bytes

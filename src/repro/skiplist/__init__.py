@@ -1,0 +1,15 @@
+"""Block skip list substrate and its elastic instantiation.
+
+The paper (section 3) notes the elastic framework applies to "any index
+with internal key storage, such as a B+-tree, skip list, or Bw-Tree".
+:class:`FatSkipList` is a skip list over *blocks* — each tower routes to
+a leaf-ADT node holding up to ``leaf_capacity`` keys — which gives a
+skip list the same leaf boundary the framework needs.
+:class:`ElasticFatSkipList` attaches the unchanged elasticity controller
+to it: blocks convert to blind tries under pressure and back.
+"""
+
+from repro.skiplist.fat import FatSkipList, SkipPath
+from repro.skiplist.elastic import ElasticFatSkipList
+
+__all__ = ["FatSkipList", "SkipPath", "ElasticFatSkipList"]

@@ -1,0 +1,13 @@
+"""Database table substrate: rows addressed by tuple identifiers.
+
+The paper's setting (section 5): "the index is indexing rows of a DBMS
+table, so the 'values' stored in the index are tuple identifiers (pointers
+to rows of the table). In particular, the key can be extracted from the
+row it indexes."  Compact (blind-trie) leaves exploit this to avoid
+storing keys — at the price of an indirect load per key access, which is
+the cost this substrate charges.
+"""
+
+from repro.table.table import Table, RowSchema
+
+__all__ = ["Table", "RowSchema"]

@@ -1,0 +1,5 @@
+"""Operator tooling: structure inspection and reporting."""
+
+from repro.tools.inspect import dump_tree, leaf_histogram, format_size
+
+__all__ = ["dump_tree", "leaf_histogram", "format_size"]

@@ -1,0 +1,85 @@
+"""Structure inspection: ASCII dumps and leaf histograms.
+
+Debugging/ops aids for the elastic trees: visualize which regions of the
+key space are compacted, at what capacity, and how full the leaves are.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.btree.tree import BPlusTree, InnerNode
+
+
+def format_size(nbytes: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(nbytes) < 1024 or unit == "GB":
+            return f"{nbytes:.1f} {unit}" if unit != "B" else f"{int(nbytes)} B"
+        nbytes /= 1024
+    return f"{nbytes:.1f} GB"
+
+
+def _leaf_label(leaf) -> str:
+    kind = "C" if leaf.is_compact else "S"
+    bar_width = 12
+    filled = int(round(bar_width * leaf.count / max(1, leaf.capacity)))
+    bar = "#" * filled + "." * (bar_width - filled)
+    return (
+        f"[{kind} {leaf.count:>3}/{leaf.capacity:<3} |{bar}| "
+        f"{format_size(leaf.size_bytes)}]"
+    )
+
+
+def dump_tree(tree: BPlusTree, max_leaves: int = 40) -> str:
+    """ASCII rendering of a B+-tree's structure.
+
+    Inner nodes show separator counts; leaves show representation
+    (S=standard, C=compact), occupancy bars and sizes.  Output is
+    truncated after ``max_leaves`` leaves.
+    """
+    lines: List[str] = [
+        f"B+-tree: {len(tree)} items, height {tree.height}, "
+        f"{format_size(tree.index_bytes)}"
+    ]
+    emitted = 0
+
+    def walk(node, depth: int) -> None:
+        nonlocal emitted
+        indent = "  " * depth
+        if isinstance(node, InnerNode):
+            lines.append(
+                f"{indent}inner({len(node.keys)} keys, "
+                f"{len(node.children)} children)"
+            )
+            for child in node.children:
+                if emitted > max_leaves:
+                    return
+                walk(child, depth + 1)
+        else:
+            emitted += 1
+            if emitted == max_leaves + 1:
+                lines.append(f"{indent}... (truncated)")
+                return
+            if emitted <= max_leaves:
+                lines.append(f"{indent}{_leaf_label(node)}")
+
+    walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def leaf_histogram(tree: BPlusTree, buckets: int = 10) -> str:
+    """Histogram of leaf occupancy, split by representation."""
+    standard = [0] * buckets
+    compact = [0] * buckets
+    leaf = tree.first_leaf
+    while leaf is not None:
+        fraction = leaf.count / max(1, leaf.capacity)
+        bucket = min(buckets - 1, int(fraction * buckets))
+        (compact if leaf.is_compact else standard)[bucket] += 1
+        leaf = leaf.next_leaf
+    lines = ["occupancy   standard  compact"]
+    for i in range(buckets):
+        lo, hi = i * 100 // buckets, (i + 1) * 100 // buckets
+        lines.append(f"{lo:>3}-{hi}%   {standard[i]:>8}  {compact[i]:>7}")
+    return "\n".join(lines)

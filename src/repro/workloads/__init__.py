@@ -1,0 +1,36 @@
+"""Workload generators for the paper's evaluation (section 6).
+
+* :mod:`repro.workloads.distributions` — uniform, zipfian (YCSB's
+  constant-zeta algorithm), scrambled-zipfian, and latest request
+  distributions.
+* :mod:`repro.workloads.ycsb` — the core YCSB workloads A-F with the
+  paper's load/transaction phasing (section 6.2).
+* :mod:`repro.workloads.iotta` — a synthetic equivalent of the SNIA
+  IOTTA object-storage log trace (sections 1 and 6.3), including the
+  daily volume spikes of Figure 1.
+"""
+
+from repro.workloads.distributions import (
+    UniformGenerator,
+    ZipfianGenerator,
+    ScrambledZipfianGenerator,
+    LatestGenerator,
+)
+from repro.workloads.ycsb import (
+    YCSBSpec,
+    YCSB_CORE,
+    YCSBRunner,
+)
+from repro.workloads.iotta import IottaTraceGenerator, LogRow
+
+__all__ = [
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "YCSBSpec",
+    "YCSB_CORE",
+    "YCSBRunner",
+    "IottaTraceGenerator",
+    "LogRow",
+]

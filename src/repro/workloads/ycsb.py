@@ -1,0 +1,153 @@
+"""YCSB core workloads A-F (paper section 6.2).
+
+The paper: "Each workload is separated into two phases: a load phase
+inserting 50 million uniformly distributed 64-bit keys, and a
+transaction phase performing 100 million operations specific to the
+workload ... with zipfian distribution of keys to manipulate."  The
+runner here is scale-parameterized; the benchmark harness uses reduced
+sizes with identical proportions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.keys.encoding import encode_u64
+from repro.table.table import Table
+from repro.workloads.distributions import make_generator
+
+
+@dataclass(frozen=True)
+class YCSBSpec:
+    """Operation mix of one YCSB workload.
+
+    Proportions must sum to 1.  ``scan_max`` is the upper bound of the
+    uniformly-chosen scan length (workload E: 1-100).
+    """
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    scan_max: int = 100
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: proportions sum to {total}")
+
+
+#: The core YCSB workloads as evaluated in section 6.2.
+YCSB_CORE: Dict[str, YCSBSpec] = {
+    "A": YCSBSpec("A", read=0.5, update=0.5),
+    "B": YCSBSpec("B", read=0.95, update=0.05),
+    "C": YCSBSpec("C", read=1.0),
+    "D": YCSBSpec("D", read=0.95, insert=0.05),
+    "E": YCSBSpec("E", scan=0.95, insert=0.05),
+    "F": YCSBSpec("F", read=0.5, rmw=0.5),
+}
+
+
+class YCSBRunner:
+    """Drives an OrderedIndex + Table through a YCSB workload."""
+
+    def __init__(
+        self,
+        index,
+        table: Table,
+        spec: YCSBSpec,
+        request_dist: str = "zipfian",
+        seed: int = 42,
+    ) -> None:
+        self.index = index
+        self.table = table
+        self.spec = spec
+        self.request_dist = request_dist
+        self._rng = random.Random(seed)
+        self._value_rng = random.Random(seed ^ 0xFACE)
+        #: Key values by insertion order (the request distribution picks
+        #: an insertion-order position, YCSB-style).
+        self.key_values: List[int] = []
+        self._key_set = set()
+        self._chooser = None
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+    def load(self, n: int) -> None:
+        """Insert ``n`` uniformly distributed 64-bit keys."""
+        while len(self.key_values) < n:
+            value = self._value_rng.getrandbits(63)
+            if value in self._key_set:
+                continue
+            self._key_set.add(value)
+            self.key_values.append(value)
+            key = encode_u64(value)
+            tid = self.table.insert_row(value)
+            self.index.insert(key, tid)
+        self._chooser = make_generator(
+            self.request_dist, len(self.key_values), self._seed ^ 0xBEEF
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction phase
+    # ------------------------------------------------------------------
+    def _pick_key(self) -> bytes:
+        pos = min(self._chooser.next(), len(self.key_values) - 1)
+        return encode_u64(self.key_values[pos])
+
+    def _op_insert(self) -> None:
+        while True:
+            value = self._value_rng.getrandbits(63)
+            if value not in self._key_set:
+                break
+        self._key_set.add(value)
+        self.key_values.append(value)
+        tid = self.table.insert_row(value)
+        self.index.insert(encode_u64(value), tid)
+        self._chooser.grow(len(self.key_values))
+
+    def run(self, op_count: int) -> Dict[str, int]:
+        """Execute ``op_count`` transactions; returns op-type counts."""
+        if self._chooser is None:
+            raise RuntimeError("run() requires a prior load()")
+        spec = self.spec
+        counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "rmw": 0}
+        thresholds = [
+            ("read", spec.read),
+            ("update", spec.read + spec.update),
+            ("insert", spec.read + spec.update + spec.insert),
+            ("scan", spec.read + spec.update + spec.insert + spec.scan),
+            ("rmw", 1.0),
+        ]
+        for _ in range(op_count):
+            roll = self._rng.random()
+            for op, bound in thresholds:
+                if roll < bound or bound == 1.0:
+                    break
+            counts[op] += 1
+            if op == "read":
+                self.index.lookup(self._pick_key())
+            elif op == "update":
+                key = self._pick_key()
+                tid = self.index.lookup(key)
+                if tid is not None:
+                    # In-place value update: touch the row.
+                    self.table.row(tid)
+            elif op == "insert":
+                self._op_insert()
+            elif op == "scan":
+                length = self._rng.randint(1, spec.scan_max)
+                self.index.scan(self._pick_key(), length)
+            else:  # rmw
+                key = self._pick_key()
+                tid = self.index.lookup(key)
+                if tid is not None:
+                    self.table.row(tid)
+                    self.index.insert(key, tid)
+        return counts

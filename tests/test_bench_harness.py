@@ -1,0 +1,112 @@
+"""Unit tests for the benchmark harness infrastructure."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    INDEX_BUILDERS,
+    Measurement,
+    estimate_stx_bytes_per_key,
+    make_u64_environment,
+    measure,
+)
+from repro.bench.microbench import run_insert_search
+from repro.keys.encoding import encode_u64
+from repro.memory.cost_model import CostModel
+
+
+class TestMeasurement:
+    def test_throughput(self):
+        m = Measurement(ops=100, cost_units=50.0)
+        assert m.throughput == 2.0
+
+    def test_zero_cost(self):
+        assert Measurement(ops=10, cost_units=0.0).throughput == 0.0
+
+    def test_measure_captures_delta(self):
+        cost = CostModel()
+        cost.rand_lines(5)
+        m = measure(cost, 10, lambda: cost.rand_lines(3))
+        assert m.counts == {"rand_line": 3}
+        assert m.cost_units == pytest.approx(3.0)
+
+
+class TestExperimentResult:
+    def test_series_roundtrip(self):
+        result = ExperimentResult("x", "t", x_label="n")
+        result.xs = [1, 2]
+        result.add_series("a", [0.5, 0.6])
+        assert result.get("a") == [0.5, 0.6]
+        with pytest.raises(KeyError):
+            result.get("b")
+
+    def test_render_contains_everything(self):
+        result = ExperimentResult("figX", "demo", x_label="n")
+        result.xs = [1, 2]
+        result.add_series("tput", [1.25, 2.5])
+        result.add_row("note", "hello")
+        text = result.render()
+        assert "figX" in text and "demo" in text
+        assert "tput" in text and "1.25" in text
+        assert "note: hello" in text
+
+    def test_save(self, tmp_path):
+        result = ExperimentResult("figY", "demo")
+        result.add_row("k", "v")
+        path = tmp_path / "r.txt"
+        result.save(str(path))
+        assert "figY" in path.read_text()
+
+
+class TestEnvironments:
+    @pytest.mark.parametrize("name", INDEX_BUILDERS)
+    def test_every_builder_constructs_and_works(self, name):
+        kwargs = {}
+        if name == "elastic":
+            kwargs["size_bound_bytes"] = 100_000
+        env = make_u64_environment(name, **kwargs)
+        tid = env.table.insert_row(42)
+        key = env.table.peek_key(tid)
+        env.index.insert(key, tid)
+        assert env.index.lookup(key) == tid
+        assert env.index.index_bytes > 0
+
+    def test_unknown_builder_rejected(self):
+        with pytest.raises(ValueError):
+            make_u64_environment("nope")
+
+    def test_elastic_requires_bound(self):
+        with pytest.raises(ValueError):
+            make_u64_environment("elastic")
+
+    def test_wide_keys_padded_and_ordered(self):
+        env = make_u64_environment("stx", key_width=16)
+        keys = []
+        for value in (5, 1, 9):
+            tid = env.table.insert_row(value)
+            key = env.table.peek_key(tid)
+            assert len(key) == 16
+            env.index.insert(key, tid)
+            keys.append(key)
+        scanned = [k for k, _ in env.index.scan(b"\x00" * 16, 10)]
+        assert scanned == sorted(keys)
+
+    def test_estimate_stx_rate_plausible(self):
+        rate = estimate_stx_bytes_per_key(sample=2000)
+        # ~26-27 B/key for u64 at ~70% occupancy, plus size-class slack.
+        assert 20 < rate < 45, rate
+
+
+class TestMicrobench:
+    def test_insert_search_runs(self):
+        r = run_insert_search("stx-seqtree", n=400, capacity=32, levels=2)
+        assert r.insert_throughput > 0
+        assert r.search_throughput > 0
+        assert 0 < r.leaf_bytes <= r.index_bytes
+
+    def test_breathing_reduces_leaf_bytes(self):
+        off = run_insert_search("stx-seqtree", n=600, capacity=64,
+                                levels=2, breathing=None)
+        on = run_insert_search("stx-seqtree", n=600, capacity=64,
+                               levels=2, breathing=4)
+        assert on.leaf_bytes < off.leaf_bytes

@@ -1,0 +1,257 @@
+"""Unit and property tests for the B+-tree substrate with standard leaves."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btree.leaves import LeafFullError, StandardLeaf
+from repro.btree.tree import BPlusTree
+from repro.keys.encoding import encode_u64
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.cost_model import CostModel
+
+from tests.conftest import SortedModel
+
+
+def make_tree(leaf_capacity=4, inner_capacity=4):
+    cost = CostModel()
+    alloc = TrackingAllocator(use_size_classes=False, cost_model=cost)
+    tree = BPlusTree(
+        key_width=8,
+        leaf_capacity=leaf_capacity,
+        inner_capacity=inner_capacity,
+        allocator=alloc,
+        cost_model=cost,
+    )
+    return tree
+
+
+class TestStandardLeaf:
+    def setup_method(self):
+        self.alloc = TrackingAllocator(use_size_classes=False)
+        self.leaf = StandardLeaf(8, 4, self.alloc)
+
+    def test_upsert_and_lookup(self):
+        assert self.leaf.upsert(encode_u64(5), 50) is None
+        assert self.leaf.lookup(encode_u64(5)) == 50
+        assert self.leaf.lookup(encode_u64(6)) is None
+
+    def test_upsert_replaces(self):
+        self.leaf.upsert(encode_u64(5), 50)
+        assert self.leaf.upsert(encode_u64(5), 51) == 50
+        assert self.leaf.count == 1
+
+    def test_full_raises(self):
+        for i in range(4):
+            self.leaf.upsert(encode_u64(i), i)
+        with pytest.raises(LeafFullError):
+            self.leaf.upsert(encode_u64(99), 99)
+        # Replacing an existing key still works when full.
+        assert self.leaf.upsert(encode_u64(2), 22) == 2
+
+    def test_remove(self):
+        self.leaf.upsert(encode_u64(5), 50)
+        assert self.leaf.remove(encode_u64(5)) == 50
+        assert self.leaf.remove(encode_u64(5)) is None
+
+    def test_items_sorted(self):
+        for v in (3, 1, 2):
+            self.leaf.upsert(encode_u64(v), v)
+        assert [k for k, _ in self.leaf.items()] == sorted(
+            encode_u64(v) for v in (1, 2, 3)
+        )
+
+    def test_split_halves(self):
+        for i in range(4):
+            self.leaf.upsert(encode_u64(i), i)
+        right, sep = self.leaf.split()
+        assert sep == encode_u64(2)
+        assert self.leaf.count == 2
+        assert right.count == 2
+
+    def test_size_accounting(self):
+        # header 32 + 4 * (8 key + 8 tid) = 96
+        assert self.leaf.size_bytes == 96
+        assert self.alloc.total_bytes == 96
+        self.leaf.destroy()
+        assert self.alloc.total_bytes == 0
+
+    def test_take_first_last(self):
+        for i in range(3):
+            self.leaf.upsert(encode_u64(i), i)
+        assert self.leaf.take_first() == (encode_u64(0), 0)
+        assert self.leaf.take_last() == (encode_u64(2), 2)
+        assert self.leaf.count == 1
+
+
+class TestBPlusTreeBasics:
+    def test_insert_lookup(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(encode_u64(i), i)
+        for i in range(100):
+            assert tree.lookup(encode_u64(i)) == i
+        assert tree.lookup(encode_u64(1000)) is None
+        assert len(tree) == 100
+        tree.check_invariants()
+
+    def test_insert_replaces(self):
+        tree = make_tree()
+        tree.insert(encode_u64(1), 10)
+        assert tree.insert(encode_u64(1), 11) == 10
+        assert len(tree) == 1
+
+    def test_reverse_insert(self):
+        tree = make_tree()
+        for i in reversed(range(200)):
+            tree.insert(encode_u64(i), i)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == [encode_u64(i) for i in range(200)]
+
+    def test_remove_all(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(encode_u64(i), i)
+        for i in range(100):
+            assert tree.remove(encode_u64(i)) == i
+        assert len(tree) == 0
+        assert tree.remove(encode_u64(0)) is None
+        tree.check_invariants()
+
+    def test_remove_interleaved(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(encode_u64(i), i)
+        for i in range(0, 100, 2):
+            tree.remove(encode_u64(i))
+        tree.check_invariants()
+        assert len(tree) == 50
+        for i in range(1, 100, 2):
+            assert tree.lookup(encode_u64(i)) == i
+
+    def test_scan(self):
+        tree = make_tree()
+        for i in range(0, 100, 2):
+            tree.insert(encode_u64(i), i)
+        result = tree.scan(encode_u64(11), 5)
+        assert [k for k, _ in result] == [encode_u64(v) for v in (12, 14, 16, 18, 20)]
+
+    def test_scan_past_end(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert(encode_u64(i), i)
+        assert len(tree.scan(encode_u64(8), 10)) == 2
+        assert tree.scan(encode_u64(100), 5) == []
+
+    def test_height_grows_and_shrinks(self):
+        tree = make_tree()
+        assert tree.height == 1
+        for i in range(100):
+            tree.insert(encode_u64(i), i)
+        assert tree.height > 2
+        for i in range(100):
+            tree.remove(encode_u64(i))
+        tree.check_invariants()
+
+    def test_memory_returns_after_deletes(self):
+        tree = make_tree()
+        for i in range(500):
+            tree.insert(encode_u64(i), i)
+        peak = tree.index_bytes
+        for i in range(500):
+            tree.remove(encode_u64(i))
+        assert tree.index_bytes < peak / 4
+
+    def test_wrong_key_width_rejected(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.insert(b"\x00" * 4, 1)
+
+    def test_duplicate_heavy_workload(self):
+        tree = make_tree()
+        for _ in range(5):
+            for i in range(50):
+                tree.insert(encode_u64(i), i)
+        assert len(tree) == 50
+        tree.check_invariants()
+
+    def test_iter_from_is_lazy_and_ordered(self):
+        tree = make_tree()
+        for i in range(0, 400, 4):
+            tree.insert(encode_u64(i), i)
+        iterator = tree.iter_from(encode_u64(100))
+        first_five = [next(iterator) for _ in range(5)]
+        assert [k for k, _ in first_five] == [
+            encode_u64(v) for v in (100, 104, 108, 112, 116)
+        ]
+        rest = list(iterator)
+        assert rest[-1][0] == encode_u64(396)
+        assert len(first_five) + len(rest) == 75
+
+    def test_iter_from_past_end(self):
+        tree = make_tree()
+        tree.insert(encode_u64(1), 1)
+        assert list(tree.iter_from(encode_u64(2))) == []
+
+    def test_trace_records_descent(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(encode_u64(i), i)
+        tree.trace = []
+        tree.lookup(encode_u64(50))
+        assert len(tree.trace) == tree.height
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove", "lookup"]),
+            st.integers(min_value=0, max_value=120),
+        ),
+        max_size=250,
+    )
+)
+def test_btree_matches_model(ops):
+    tree = make_tree(leaf_capacity=4, inner_capacity=4)
+    model = SortedModel()
+    for op, value in ops:
+        key = encode_u64(value)
+        if op == "insert":
+            assert tree.insert(key, value) == model.insert(key, value)
+        elif op == "remove":
+            assert tree.remove(key) == model.remove(key)
+        else:
+            assert tree.lookup(key) == model.lookup(key)
+    assert len(tree) == len(model)
+    assert [k for k, _ in tree.items()] == model.keys
+    tree.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_btree_random_churn(seed):
+    rng = random.Random(seed)
+    tree = make_tree(leaf_capacity=8, inner_capacity=8)
+    model = SortedModel()
+    for _ in range(400):
+        value = rng.randrange(200)
+        key = encode_u64(value)
+        if rng.random() < 0.6:
+            assert tree.insert(key, value) == model.insert(key, value)
+        else:
+            assert tree.remove(key) == model.remove(key)
+    tree.check_invariants()
+    start = encode_u64(rng.randrange(200))
+    assert tree.scan(start, 10) == model.scan(start, 10)
+
+
+def test_scan_matches_model_across_leaves():
+    tree = make_tree(leaf_capacity=4)
+    model = SortedModel()
+    for i in range(0, 300, 3):
+        tree.insert(encode_u64(i), i)
+        model.insert(encode_u64(i), i)
+    for start in (0, 1, 149, 150, 298, 299):
+        assert tree.scan(encode_u64(start), 7) == model.scan(encode_u64(start), 7)

@@ -1,0 +1,126 @@
+"""Tests for bottom-up bulk loading of the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bwtree import BwTreeIndex
+from repro.btree.stats import collect_stats
+from repro.btree.tree import BPlusTree
+from repro.keys.encoding import encode_u64
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.cost_model import CostModel
+
+from tests.conftest import SortedModel
+
+
+def make_tree(leaf_capacity=16, inner_capacity=16):
+    cost = CostModel()
+    alloc = TrackingAllocator(use_size_classes=False, cost_model=cost)
+    return BPlusTree(8, leaf_capacity, inner_capacity, alloc, cost)
+
+
+def pairs(values):
+    return [(encode_u64(v), v) for v in sorted(values)]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_single_item(self):
+        tree = make_tree()
+        tree.bulk_load(pairs([5]))
+        assert tree.lookup(encode_u64(5)) == 5
+        tree.check_invariants()
+
+    def test_small_and_large(self):
+        for n in (1, 2, 15, 16, 17, 100, 1000, 5000):
+            tree = make_tree()
+            tree.bulk_load(pairs(range(n)))
+            assert len(tree) == n
+            assert [k for k, _ in tree.items()] == [
+                encode_u64(v) for v in range(n)
+            ]
+            tree.check_invariants()
+
+    def test_requires_empty_tree(self):
+        tree = make_tree()
+        tree.insert(encode_u64(1), 1)
+        with pytest.raises(ValueError):
+            tree.bulk_load(pairs([2, 3]))
+
+    def test_rejects_unsorted_or_duplicates(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([(encode_u64(2), 2), (encode_u64(1), 1)])
+        with pytest.raises(ValueError):
+            tree.bulk_load([(encode_u64(1), 1), (encode_u64(1), 2)])
+
+    def test_fill_factor(self):
+        tree = make_tree()
+        tree.bulk_load(pairs(range(2000)), leaf_fill=0.9)
+        stats = collect_stats(tree)
+        assert 0.8 < stats.avg_leaf_occupancy <= 0.95
+        dense = make_tree()
+        dense.bulk_load(pairs(range(2000)), leaf_fill=0.5)
+        assert collect_stats(dense).leaf_count > stats.leaf_count
+
+    def test_mutable_after_bulk_load(self):
+        tree = make_tree()
+        tree.bulk_load(pairs(range(0, 600, 2)))
+        model = SortedModel()
+        for v in range(0, 600, 2):
+            model.insert(encode_u64(v), v)
+        rng = random.Random(4)
+        for _ in range(400):
+            v = rng.randrange(600)
+            key = encode_u64(v)
+            if rng.random() < 0.5:
+                assert tree.insert(key, v) == model.insert(key, v)
+            else:
+                assert tree.remove(key) == model.remove(key)
+        assert [k for k, _ in tree.items()] == model.keys
+        tree.check_invariants()
+
+    def test_no_leaked_allocations(self):
+        tree = make_tree()
+        tree.bulk_load(pairs(range(500)))
+        for v in range(500):
+            tree.remove(encode_u64(v))
+        # Only the (empty) root leaf remains allocated.
+        assert tree.index_bytes == tree.root.size_bytes
+
+    def test_bwtree_bulk_load_uses_delta_leaves(self):
+        cost = CostModel()
+        tree = BwTreeIndex(8, allocator=TrackingAllocator(cost_model=cost),
+                           cost_model=cost)
+        tree.bulk_load(pairs(range(300)))
+        assert tree.lookup(encode_u64(123)) == 123
+        tree.check_invariants()
+
+    def test_cheaper_than_incremental(self):
+        bulk = make_tree()
+        bulk.bulk_load(pairs(range(3000)))
+        bulk_cost = bulk.cost.weighted_cost()
+        incremental = make_tree()
+        for key, tid in pairs(range(3000)):
+            incremental.insert(key, tid)
+        assert bulk_cost < 0.3 * incremental.cost.weighted_cost()
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.sets(st.integers(min_value=0, max_value=1 << 48),
+                      max_size=400))
+def test_bulk_load_matches_model(values):
+    tree = make_tree(leaf_capacity=8, inner_capacity=4)
+    items = pairs(values)
+    tree.bulk_load(items)
+    assert len(tree) == len(items)
+    assert [k for k, _ in tree.items()] == [k for k, _ in items]
+    tree.check_invariants()
+    for key, tid in items[:50]:
+        assert tree.lookup(key) == tid

@@ -1,0 +1,111 @@
+"""Tests for the OLC concurrency simulator (Figures 7b-c substrate)."""
+
+import random
+
+from repro.baselines.hot import HOTIndex
+from repro.btree.tree import BPlusTree
+from repro.concurrency.olc import OLCSimulator, OpRecord, record_ops
+from repro.keys.encoding import encode_u64
+from repro.memory.allocator import TrackingAllocator
+
+from tests.conftest import U64Source
+
+
+def make_records_btree(n_load=2000, n_ops=800, op="read"):
+    source = U64Source()
+    tree = BPlusTree(
+        8, 16, 16, TrackingAllocator(cost_model=source.cost), source.cost
+    )
+    for v in range(n_load):
+        tree.insert(*source.add(v))
+    rng = random.Random(1)
+    if op == "read":
+        ops = [
+            (lambda k: (lambda: tree.lookup(k)))(encode_u64(rng.randrange(n_load)))
+            for _ in range(n_ops)
+        ]
+    else:
+        pairs = [source.add(n_load + i) for i in range(n_ops)]
+        ops = [
+            (lambda kt: (lambda: tree.insert(*kt)))(pair) for pair in pairs
+        ]
+    return record_ops(tree, ops, source.cost)
+
+
+class TestRecording:
+    def test_read_records_have_read_sets_no_writes(self):
+        records = make_records_btree(op="read")
+        assert all(r.read_set for r in records)
+        assert all(not r.write_set for r in records)
+        assert all(r.cost_units > 0 for r in records)
+
+    def test_insert_records_have_write_sets(self):
+        records = make_records_btree(op="insert")
+        assert all(r.write_set for r in records)
+
+    def test_hot_supports_recording(self):
+        source = U64Source()
+        hot = HOTIndex(source.table, 8, source.cost)
+        for v in range(500):
+            hot.insert(*source.add(v))
+        pairs = [source.add(500 + i) for i in range(100)]
+        ops = [(lambda kt: (lambda: hot.insert(*kt)))(p) for p in pairs]
+        records = record_ops(hot, ops, source.cost)
+        assert all(r.write_set for r in records)
+        assert any(r.read_set for r in records)
+
+
+class TestSimulation:
+    def test_single_thread_equals_total_cost(self):
+        records = [
+            OpRecord(cost_units=2.0, lines=0, read_set=(), write_set=())
+            for _ in range(10)
+        ]
+        result = OLCSimulator(bandwidth_lines_per_unit=0).run(records, 1)
+        assert result.makespan_units == 20.0
+        assert result.retries == 0
+
+    def test_reads_scale_nearly_linearly(self):
+        records = make_records_btree(op="read")
+        sim = OLCSimulator()
+        one = sim.run(records, 1).throughput
+        many = sim.run(records, 16).throughput
+        assert many > 10 * one
+
+    def test_conflicting_writes_cause_retries(self):
+        # Every op writes the same node: heavy contention.
+        records = [
+            OpRecord(cost_units=1.0, lines=0, read_set=(7,), write_set=(7,))
+            for _ in range(200)
+        ]
+        sim = OLCSimulator(bandwidth_lines_per_unit=0)
+        result = sim.run(records, 8)
+        assert result.retries > 0
+        # Scaling collapses under total contention.
+        assert result.throughput < 3 * sim.run(records, 1).throughput
+
+    def test_bandwidth_caps_copy_heavy_scaling(self):
+        records = [
+            OpRecord(cost_units=1.0, lines=30, read_set=(), write_set=())
+            for _ in range(400)
+        ]
+        sim = OLCSimulator(bandwidth_lines_per_unit=90.0)
+        t1 = sim.run(records, 1).throughput
+        t64 = sim.run(records, 64).throughput
+        # 30 lines/op at 90 lines/unit: at most 3 ops/unit regardless of
+        # thread count.
+        assert t64 < 3.2
+        assert t64 < 64 * t1
+
+    def test_inserts_scale_sublinearly(self):
+        records = make_records_btree(op="insert")
+        sim = OLCSimulator()
+        t1 = sim.run(records, 1).throughput
+        t32 = sim.run(records, 32).throughput
+        assert t1 * 2 < t32 < t1 * 32
+
+    def test_sweep(self):
+        records = make_records_btree(op="read", n_ops=200)
+        results = OLCSimulator().sweep(records, [1, 2, 4])
+        assert [r.threads for r in results] == [1, 2, 4]
+        assert results[2].throughput > results[0].throughput

@@ -1,0 +1,160 @@
+"""Edge-case coverage across substrates: error paths and boundary
+conditions not exercised by the main suites."""
+
+import pytest
+
+from repro.bench.harness import make_u64_environment
+from repro.blindi.breathing import BreathingTidArray
+from repro.blindi.leaf import CompactLeaf
+from repro.btree.tree import BPlusTree
+from repro.concurrency.explore import explore_schedules
+from repro.concurrency.olc_tree import OLCBPlusTree, OLCNode, Restart, Scheduler
+from repro.core.config import ElasticConfig
+from repro.keys.encoding import encode_u64
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.budget import MemoryBudget, PressureState
+from repro.memory.cost_model import CostModel
+from repro.skiplist.fat import FatSkipList
+
+from tests.conftest import U64Source
+
+
+class TestConstructorValidation:
+    def test_btree_capacity_bounds(self):
+        with pytest.raises(ValueError):
+            BPlusTree(8, leaf_capacity=2)
+
+    def test_compact_leaf_capacity_bounds(self):
+        source = U64Source()
+        with pytest.raises(ValueError):
+            CompactLeaf(2, source.table, TrackingAllocator())
+
+    def test_compact_leaf_rejects_oversized_rep(self):
+        source = U64Source()
+        items = [source.add(v) for v in range(10)]
+        leaf = CompactLeaf(16, source.table, TrackingAllocator(), items=items)
+        with pytest.raises(ValueError):
+            leaf.with_capacity(8)
+
+    def test_breathing_slack_bounds(self):
+        with pytest.raises(ValueError):
+            BreathingTidArray(0, 16, 0, TrackingAllocator(), CostModel())
+
+    def test_elastic_config_bounds(self):
+        with pytest.raises(ValueError):
+            ElasticConfig(size_bound_bytes=1000, max_compact_capacity=4)
+        with pytest.raises(ValueError):
+            ElasticConfig(size_bound_bytes=1000, expand_split_probability=1.5)
+
+    def test_olc_tree_capacity_bounds(self):
+        with pytest.raises(ValueError):
+            OLCBPlusTree(capacity=2)
+
+    def test_bulk_load_fill_bounds(self):
+        tree = BPlusTree(8)
+        with pytest.raises(ValueError):
+            tree.bulk_load([(encode_u64(1), 1)], leaf_fill=0.01)
+
+
+class TestBudgetEdges:
+    def test_settle_is_noop_outside_expanding(self):
+        budget = MemoryBudget(1000)
+        budget.settle()
+        assert budget.state is PressureState.NORMAL
+        budget.observe(950)
+        budget.settle()
+        assert budget.state is PressureState.SHRINKING
+
+
+class TestOLCPrimitives:
+    def test_locked_node_rejects_readers(self):
+        node = OLCNode(is_leaf=True)
+        version = node.read_version()
+        node.upgrade(version)
+        with pytest.raises(Restart):
+            node.read_version()
+        with pytest.raises(Restart):
+            node.validate(version)
+        node.unlock()
+        assert node.read_version() == version + 1
+
+    def test_upgrade_requires_current_version(self):
+        node = OLCNode(is_leaf=True)
+        version = node.read_version()
+        node.upgrade(version)
+        node.unlock()
+        with pytest.raises(Restart):
+            node.upgrade(version)  # stale
+
+    def test_unlock_without_change_keeps_version(self):
+        node = OLCNode(is_leaf=True)
+        version = node.read_version()
+        node.upgrade(version)
+        node.unlock(changed=False)
+        assert node.read_version() == version
+
+    def test_scheduler_livelock_guard(self):
+        def endless():
+            while True:
+                yield
+
+        scheduler = Scheduler(seed=1)
+        scheduler.spawn(endless())
+        with pytest.raises(RuntimeError):
+            scheduler.run(max_steps=100)
+
+    def test_explorer_step_guard(self):
+        def endless():
+            while True:
+                yield
+
+        def factory():
+            return [endless()], lambda results: None
+
+        with pytest.raises(RuntimeError):
+            explore_schedules(factory, max_steps=50)
+
+
+class TestSkipListEdges:
+    def test_empty_scan_and_lookup(self):
+        source = U64Source()
+        sl = FatSkipList(8, 8, TrackingAllocator(), source.cost)
+        assert sl.lookup(encode_u64(1)) is None
+        assert sl.scan(encode_u64(1), 5) == []
+        assert list(sl.items()) == []
+        sl.check_invariants()
+
+    def test_key_width_validated(self):
+        source = U64Source()
+        sl = FatSkipList(8, 8, TrackingAllocator(), source.cost)
+        with pytest.raises(ValueError):
+            sl.insert(b"\x00" * 4, 1)
+
+    def test_single_block_drain(self):
+        source = U64Source()
+        sl = FatSkipList(8, 8, TrackingAllocator(), source.cost)
+        key, tid = source.add(1)
+        sl.insert(key, tid)
+        assert sl.remove(key) == tid
+        sl.check_invariants()
+        assert len(sl) == 0
+
+
+class TestScanBoundaries:
+    @pytest.mark.parametrize("name", ["stx", "seqtree128", "hot"])
+    def test_scan_count_zero(self, name):
+        env = make_u64_environment(name)
+        tid = env.table.insert_row(5)
+        env.index.insert(env.table.peek_key(tid), tid)
+        assert env.index.scan(encode_u64(0), 0) == []
+
+    def test_scan_exact_boundary_key(self):
+        env = make_u64_environment("seqtree128")
+        keys = []
+        for v in range(0, 100, 10):
+            tid = env.table.insert_row(v)
+            key = env.table.peek_key(tid)
+            keys.append(key)
+            env.index.insert(key, tid)
+        out = env.index.scan(keys[-1], 5)
+        assert [k for k, _ in out] == [keys[-1]]

@@ -1,0 +1,25 @@
+"""Every example script must at least import cleanly (their ``main()``
+bodies run real workloads and are exercised manually / in CI smoke)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), (
+        f"{path.name} must define main()"
+    )
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4, "the deliverable requires >= 3 examples"

@@ -1,0 +1,167 @@
+"""Cross-cutting integration tests: wide keys through the whole stack,
+YCSB over the elastic tree, multi-partition MCAS."""
+
+import random
+
+import pytest
+
+from repro.baselines.hot import HOTIndex
+from repro.btree.stats import collect_stats
+from repro.btree.tree import BPlusTree
+from repro.core.config import ElasticConfig
+from repro.core.elastic_btree import ElasticBPlusTree
+from repro.keys.encoding import STR30, encode_str
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.budget import PressureState
+from repro.memory.cost_model import CostModel
+from repro.table.table import Table
+from repro.workloads.ycsb import YCSB_CORE, YCSBRunner
+
+from tests.conftest import SortedModel
+
+
+def random_word(rng, length=12):
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz")
+                   for _ in range(length))
+
+
+class TestStr30Keys:
+    """30-byte string keys (the paper's large-key configuration) through
+    table, blind tries, and the elastic tree."""
+
+    def make_env(self, bound=None):
+        cost = CostModel()
+        allocator = TrackingAllocator(cost_model=cost)
+        table = Table(
+            key_of_row=lambda word: encode_str(word, STR30.width),
+            row_bytes=64,
+            cost_model=cost,
+        )
+        if bound is None:
+            index = BPlusTree(STR30.width, 16, 16, allocator, cost)
+        else:
+            index = ElasticBPlusTree(
+                table, ElasticConfig(size_bound_bytes=bound),
+                key_width=STR30.width, allocator=allocator, cost_model=cost,
+            )
+        return index, table
+
+    def test_plain_btree_with_strings(self):
+        index, table = self.make_env()
+        rng = random.Random(1)
+        words = {random_word(rng) for _ in range(1500)}
+        model = SortedModel()
+        for word in words:
+            tid = table.insert_row(word)
+            key = encode_str(word, STR30.width)
+            index.insert(key, tid)
+            model.insert(key, tid)
+        assert [k for k, _ in index.items()] == model.keys
+        index.check_invariants()
+
+    def test_elastic_with_strings_shrinks_and_answers(self):
+        index, table = self.make_env(bound=40_000)
+        rng = random.Random(2)
+        words = list({random_word(rng) for _ in range(3000)})
+        for word in words:
+            tid = table.insert_row(word)
+            index.insert(encode_str(word, STR30.width), tid)
+        assert index.pressure_state is PressureState.SHRINKING
+        assert collect_stats(index).compact_fraction > 0.3
+        for word in rng.sample(words, 200):
+            tid = index.lookup(encode_str(word, STR30.width))
+            assert tid is not None
+            assert table.row(tid) == word
+        index.check_elastic_invariants()
+
+    def test_string_scans_ordered(self):
+        index, table = self.make_env(bound=30_000)
+        rng = random.Random(3)
+        words = sorted({random_word(rng) for _ in range(2000)})
+        for word in words:
+            tid = table.insert_row(word)
+            index.insert(encode_str(word, STR30.width), tid)
+        start = encode_str(words[500], STR30.width)
+        out = [k for k, _ in index.scan(start, 20)]
+        expected = [encode_str(w, STR30.width) for w in words[500:520]]
+        assert out == expected
+
+    def test_hot_with_strings(self):
+        cost = CostModel()
+        table = Table(
+            key_of_row=lambda word: encode_str(word, STR30.width),
+            row_bytes=64, cost_model=cost,
+        )
+        hot = HOTIndex(table, STR30.width, cost)
+        rng = random.Random(4)
+        words = list({random_word(rng) for _ in range(800)})
+        for word in words:
+            tid = table.insert_row(word)
+            hot.insert(encode_str(word, STR30.width), tid)
+        hot.check_invariants()
+        for word in words[::13]:
+            assert hot.lookup(encode_str(word, STR30.width)) is not None
+
+
+class TestYCSBOnElastic:
+    @pytest.mark.parametrize("workload", ["A", "E"])
+    def test_elastic_survives_ycsb(self, workload):
+        cost = CostModel()
+        allocator = TrackingAllocator(cost_model=cost)
+        from repro.keys.encoding import encode_u64
+
+        table = Table(encode_u64, row_bytes=32, cost_model=cost)
+        index = ElasticBPlusTree(
+            table, ElasticConfig(size_bound_bytes=60_000),
+            allocator=allocator, cost_model=cost,
+        )
+        runner = YCSBRunner(index, table, YCSB_CORE[workload],
+                            request_dist="zipfian", seed=5)
+        runner.load(4000)
+        counts = runner.run(6000)
+        assert sum(counts.values()) == 6000
+        assert index.pressure_state is PressureState.SHRINKING
+        index.check_elastic_invariants()
+        # Every loaded key still answers.
+        from repro.keys.encoding import encode_u64 as enc
+
+        rng = random.Random(6)
+        for value in rng.sample(runner.key_values, 100):
+            assert index.lookup(enc(value)) is not None
+
+
+class TestMultiPartitionMCAS:
+    def test_partitioned_elastic_store(self):
+        from repro.bench.harness import build_index
+        from repro.mcas.ado import IndexedTableADO
+        from repro.mcas.store import MCASStore
+        from repro.workloads.iotta import IottaTraceGenerator
+
+        cost = CostModel()
+        store = MCASStore(
+            ado_factory=lambda c: IndexedTableADO(
+                lambda table, allocator, cm: build_index(
+                    "elastic", table, allocator, cm, key_width=16,
+                    size_bound_bytes=30_000,
+                ),
+                c,
+            ),
+            cost_model=cost,
+            partitions=4,
+        )
+        gen = IottaTraceGenerator(base_rows_per_day=3000, days=2, seed=7)
+        rows = list(gen.rows(limit=4000))
+        for row in rows:
+            store.ingest(row)
+        assert store.dataset_bytes == 4000 * 32
+        for row in rows[::97]:
+            assert store.lookup(row.index_key()) == row
+        # Per-partition scans stay sorted.
+        out = store.scan(rows[0].index_key(), 40)
+        keys = [k for k, _ in out]
+        assert keys == sorted(keys)
+        # Eviction across partitions.
+        for row in rows[:1000]:
+            assert store.evict(row.index_key())
+        assert store.lookup(rows[0].index_key()) is None
+        assert len(store.partitions) == 4

@@ -1,0 +1,185 @@
+"""Unit tests for key encodings and bit operations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.keys.bitops import (
+    common_prefix_bits,
+    first_diff_bit,
+    get_bit,
+    int_to_key,
+    key_to_int,
+    set_bit,
+)
+from repro.keys.encoding import (
+    STR30,
+    U64,
+    U128,
+    KeySpec,
+    decode_f64,
+    decode_i64,
+    decode_str,
+    decode_u64,
+    decode_u128,
+    encode_f64,
+    encode_i64,
+    encode_str,
+    encode_u64,
+    encode_u128,
+)
+
+
+class TestEncoding:
+    def test_u64_roundtrip(self):
+        for value in (0, 1, 42, 2**63, 2**64 - 1):
+            assert decode_u64(encode_u64(value)) == value
+
+    def test_u64_order_preserving(self):
+        values = [0, 1, 255, 256, 2**32, 2**63, 2**64 - 1]
+        encoded = [encode_u64(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_u64_range_check(self):
+        with pytest.raises(ValueError):
+            encode_u64(-1)
+        with pytest.raises(ValueError):
+            encode_u64(2**64)
+
+    def test_u128_roundtrip(self):
+        for value in (0, 2**64, 2**128 - 1):
+            assert decode_u128(encode_u128(value)) == value
+
+    def test_u128_width(self):
+        assert len(encode_u128(7)) == 16
+
+    def test_str_roundtrip(self):
+        assert decode_str(encode_str("hello")) == "hello"
+
+    def test_str_padding_width(self):
+        assert len(encode_str("abc")) == 30
+
+    def test_str_order_preserving(self):
+        words = ["", "a", "ab", "abc", "b", "ba"]
+        encoded = [encode_str(w) for w in words]
+        assert encoded == sorted(encoded)
+
+    def test_str_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            encode_str("x" * 31)
+
+    def test_keyspec_validate(self):
+        U64.validate(b"\x00" * 8)
+        with pytest.raises(ValueError):
+            U64.validate(b"\x00" * 7)
+
+    def test_keyspec_bits(self):
+        assert U64.bits == 64
+        assert U128.bits == 128
+        assert STR30.bits == 240
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=2**64 - 1))
+    def test_u64_order_property(self, a, b):
+        assert (a < b) == (encode_u64(a) < encode_u64(b))
+
+
+class TestSignedAndFloatEncoding:
+    def test_i64_roundtrip(self):
+        for value in (-(1 << 63), -1, 0, 1, (1 << 63) - 1):
+            assert decode_i64(encode_i64(value)) == value
+
+    def test_i64_order(self):
+        values = [-(1 << 63), -1000, -1, 0, 1, 1000, (1 << 63) - 1]
+        encoded = [encode_i64(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_i64_range_check(self):
+        with pytest.raises(ValueError):
+            encode_i64(1 << 63)
+
+    def test_f64_roundtrip(self):
+        for value in (-1e300, -1.5, -0.0, 0.0, 1e-300, 2.5, float("inf")):
+            decoded = decode_f64(encode_f64(value))
+            assert decoded == value or (value == -0.0 and decoded == 0.0)
+
+    def test_f64_order(self):
+        values = [float("-inf"), -1e10, -1.0, -1e-10, 0.0, 1e-10, 1.0,
+                  1e10, float("inf")]
+        encoded = [encode_f64(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_f64_negative_zero_normalized(self):
+        assert encode_f64(-0.0) == encode_f64(0.0)
+
+    def test_f64_nan_rejected(self):
+        with pytest.raises(ValueError):
+            encode_f64(float("nan"))
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+           st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_i64_order_property(self, a, b):
+        assert (a < b) == (encode_i64(a) < encode_i64(b))
+
+    @given(st.floats(allow_nan=False), st.floats(allow_nan=False))
+    def test_f64_order_property(self, a, b):
+        ka, kb = encode_f64(a), encode_f64(b)
+        if a < b:
+            assert ka < kb
+        elif a > b:
+            assert ka > kb
+        else:
+            assert ka == kb
+
+
+class TestBitops:
+    def test_get_bit_msb_numbering(self):
+        key = bytes([0b10000000, 0b00000001])
+        assert get_bit(key, 0) == 1
+        assert get_bit(key, 1) == 0
+        assert get_bit(key, 15) == 1
+
+    def test_set_bit(self):
+        key = b"\x00\x00"
+        assert get_bit(set_bit(key, 3, 1), 3) == 1
+        assert set_bit(set_bit(key, 3, 1), 3, 0) == key
+
+    def test_first_diff_bit_identical(self):
+        assert first_diff_bit(b"\xab\xcd", b"\xab\xcd") is None
+
+    def test_first_diff_bit_simple(self):
+        # 0x00 vs 0x80 differ at bit 0.
+        assert first_diff_bit(b"\x00", b"\x80") == 0
+        # 0x00 vs 0x01 differ at bit 7.
+        assert first_diff_bit(b"\x00", b"\x01") == 7
+
+    def test_first_diff_bit_second_byte(self):
+        assert first_diff_bit(b"\xff\x00", b"\xff\x40") == 9
+
+    def test_first_diff_bit_width_mismatch(self):
+        with pytest.raises(ValueError):
+            first_diff_bit(b"\x00", b"\x00\x00")
+
+    def test_smaller_key_has_zero_at_diff_bit(self):
+        a, b = encode_u64(1000), encode_u64(2000)
+        bit = first_diff_bit(a, b)
+        assert get_bit(a, bit) == 0
+        assert get_bit(b, bit) == 1
+
+    def test_common_prefix_bits(self):
+        assert common_prefix_bits(b"\xff", b"\xff") == 8
+        assert common_prefix_bits(b"\x00", b"\x80") == 0
+
+    def test_int_key_roundtrip(self):
+        assert key_to_int(int_to_key(12345, 8)) == 12345
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=0, max_value=2**64 - 1))
+    def test_first_diff_bit_property(self, a, b):
+        ka, kb = encode_u64(a), encode_u64(b)
+        bit = first_diff_bit(ka, kb)
+        if a == b:
+            assert bit is None
+        else:
+            assert get_bit(ka, bit) != get_bit(kb, bit)
+            for i in range(bit):
+                assert get_bit(ka, i) == get_bit(kb, i)

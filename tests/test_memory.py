@@ -1,0 +1,210 @@
+"""Unit tests for the memory substrate: allocator, cost model, budget."""
+
+import pytest
+
+from repro.memory.allocator import TrackingAllocator, jemalloc_size_class
+from repro.memory.budget import MemoryBudget, PressureState
+from repro.memory.cost_model import CostModel, CostWeights
+
+
+class TestSizeClasses:
+    def test_tiny(self):
+        assert jemalloc_size_class(0) == 0
+        assert jemalloc_size_class(1) == 8
+        assert jemalloc_size_class(8) == 8
+        assert jemalloc_size_class(9) == 16
+
+    def test_small(self):
+        assert jemalloc_size_class(100) == 112
+        assert jemalloc_size_class(128) == 128
+
+    def test_groups_of_four(self):
+        # Between 128 and 256 the step is 32.
+        assert jemalloc_size_class(129) == 160
+        assert jemalloc_size_class(160) == 160
+        assert jemalloc_size_class(161) == 192
+        # Between 256 and 512 the step is 64.
+        assert jemalloc_size_class(300) == 320
+
+    def test_monotone_and_geq(self):
+        prev = 0
+        for n in range(1, 5000, 7):
+            cls = jemalloc_size_class(n)
+            assert cls >= n
+            assert cls >= prev
+            prev = cls
+
+
+class TestTrackingAllocator:
+    def test_allocate_free_balance(self):
+        alloc = TrackingAllocator(use_size_classes=False)
+        alloc.allocate(100, "a")
+        alloc.allocate(50, "b")
+        assert alloc.total_bytes == 150
+        alloc.free(100, "a")
+        assert alloc.total_bytes == 50
+        alloc.free(50, "b")
+        alloc.assert_balanced()
+
+    def test_rounding_applied(self):
+        alloc = TrackingAllocator(use_size_classes=True)
+        alloc.allocate(100, "a")
+        assert alloc.total_bytes == 112
+
+    def test_over_free_rejected(self):
+        alloc = TrackingAllocator(use_size_classes=False)
+        alloc.allocate(10, "a")
+        with pytest.raises(ValueError):
+            alloc.free(20, "a")
+
+    def test_peak_tracking(self):
+        alloc = TrackingAllocator(use_size_classes=False)
+        alloc.allocate(100)
+        alloc.allocate(100)
+        alloc.free(100)
+        assert alloc.peak_bytes == 200
+
+    def test_resize(self):
+        alloc = TrackingAllocator(use_size_classes=False)
+        alloc.allocate(64, "x")
+        alloc.resize(64, 128, "x")
+        assert alloc.bytes_in("x") == 128
+
+    def test_breakdown_hides_empty(self):
+        alloc = TrackingAllocator(use_size_classes=False)
+        alloc.allocate(10, "a")
+        alloc.free(10, "a")
+        assert alloc.breakdown() == {}
+
+
+class TestCostModel:
+    def test_counters(self):
+        cost = CostModel()
+        cost.rand_lines(3)
+        cost.compares(10)
+        assert cost.counts == {"rand_line": 3, "compare": 10}
+
+    def test_weighted_cost(self):
+        cost = CostModel(weights=CostWeights(rand_line=2.0, compare=0.5))
+        cost.rand_lines(3)
+        cost.compares(4)
+        assert cost.weighted_cost() == pytest.approx(8.0)
+
+    def test_copy_bytes_rounds_to_lines(self):
+        cost = CostModel()
+        cost.copy_bytes(1)
+        cost.copy_bytes(65)
+        assert cost.counts["copy_line"] == 3
+
+    def test_touch_bytes_seq(self):
+        cost = CostModel()
+        cost.touch_bytes_seq(200)  # 4 lines: 1 random + 3 sequential
+        assert cost.counts["rand_line"] == 1
+        assert cost.counts["seq_line"] == 3
+
+    def test_disabled_model_charges_nothing(self):
+        cost = CostModel(enabled=False)
+        cost.rand_lines(5)
+        assert cost.counts == {}
+
+    def test_measure_delta(self):
+        cost = CostModel()
+        cost.rand_lines(1)
+        with cost.measure() as delta:
+            cost.rand_lines(2)
+            cost.compares(3)
+        assert delta.counts == {"rand_line": 2, "compare": 3}
+        assert cost.counts["rand_line"] == 3
+
+    def test_paused(self):
+        cost = CostModel()
+        with cost.paused():
+            cost.rand_lines(5)
+        cost.rand_lines(1)
+        assert cost.counts == {"rand_line": 1}
+
+    def test_fixed_ops(self):
+        cost = CostModel()
+        cost.fixed_ops(2.5)
+        assert cost.weighted_cost() == pytest.approx(2.5)
+
+    def test_attribution_tags_charges(self):
+        cost = CostModel()
+        cost.rand_lines(1)
+        with cost.attributed_to("hot_path"):
+            cost.rand_lines(2)
+            cost.compares(5)
+        cost.rand_lines(1)
+        assert cost.counts["rand_line"] == 4  # global counters see all
+        assert cost.tagged["hot_path"] == {"rand_line": 2, "compare": 5}
+        assert cost.tagged_cost("hot_path") == pytest.approx(2 + 5 * 0.02)
+        assert cost.tagged_cost("unknown") == 0.0
+
+    def test_attribution_nesting_innermost_wins(self):
+        cost = CostModel()
+        with cost.attributed_to("outer"):
+            cost.rand_lines(1)
+            with cost.attributed_to("inner"):
+                cost.rand_lines(1)
+            cost.rand_lines(1)
+        assert cost.tagged["outer"]["rand_line"] == 2
+        assert cost.tagged["inner"]["rand_line"] == 1
+
+    def test_reset_clears_tags(self):
+        cost = CostModel()
+        with cost.attributed_to("t"):
+            cost.rand_lines(1)
+        cost.reset()
+        assert cost.tagged == {} and cost.counts == {}
+
+
+class TestMemoryBudget:
+    def test_thresholds(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        assert budget.shrink_threshold_bytes == 900
+        assert budget.expand_threshold_bytes == 750
+
+    def test_requires_hysteresis(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(1000, 0.5, 0.9)
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+    def test_normal_to_shrinking(self):
+        budget = MemoryBudget(1000)
+        assert budget.observe(100) is PressureState.NORMAL
+        assert budget.observe(899) is PressureState.NORMAL
+        assert budget.observe(900) is PressureState.SHRINKING
+
+    def test_shrinking_to_expanding_needs_hysteresis(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)
+        # Dropping just below the shrink threshold is not enough.
+        assert budget.observe(880) is PressureState.SHRINKING
+        assert budget.observe(700) is PressureState.EXPANDING
+
+    def test_expanding_back_to_shrinking(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)
+        budget.observe(700)
+        assert budget.observe(920) is PressureState.SHRINKING
+
+    def test_settle(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)
+        budget.observe(700)
+        budget.settle()
+        assert budget.state is PressureState.NORMAL
+
+    def test_no_oscillation_within_band(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)
+        transitions_before = budget.transitions
+        # Bouncing within (expand, shrink) thresholds causes no flapping.
+        for size in (890, 850, 880, 800, 870, 760):
+            budget.observe(size)
+        assert budget.transitions == transitions_before
+
+    def test_headroom(self):
+        budget = MemoryBudget(1000)
+        assert budget.headroom_bytes(800) == 100

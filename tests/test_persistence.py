@@ -1,0 +1,198 @@
+"""Crash-recovery and failure-injection tests for the MCAS durability
+substrate (WAL + snapshots over a simulated persistent-memory device)."""
+
+import random
+
+import pytest
+
+from repro.btree.tree import BPlusTree
+from repro.core.config import ElasticConfig
+from repro.core.elastic_btree import ElasticBPlusTree
+from repro.mcas.ado import IndexedTableADO
+from repro.mcas.persistence import (
+    DurableADO,
+    PMDevice,
+    decode_record,
+    encode_evict,
+    encode_ingest,
+)
+from repro.memory.cost_model import CostModel
+from repro.workloads.iotta import IottaTraceGenerator, LogRow
+
+
+def make_ado():
+    cost = CostModel()
+    return IndexedTableADO(
+        lambda table, allocator, cm: BPlusTree(16, 16, 16, allocator, cm),
+        cost,
+    )
+
+
+def make_elastic_ado(bound=200_000):
+    cost = CostModel()
+    return IndexedTableADO(
+        lambda table, allocator, cm: ElasticBPlusTree(
+            table, ElasticConfig(size_bound_bytes=bound), key_width=16,
+            allocator=allocator, cost_model=cm,
+        ),
+        cost,
+    )
+
+
+def rows_sample(n, seed=1):
+    gen = IottaTraceGenerator(base_rows_per_day=n, days=4, seed=seed)
+    rows = list(gen.rows(limit=n))
+    assert len(rows) == n
+    return rows
+
+
+class TestRecordCodec:
+    def test_ingest_roundtrip(self):
+        row = LogRow(123456, 2, 987654, 4096)
+        tag, decoded = decode_record(encode_ingest(row))
+        assert tag == 1
+        assert decoded == row
+
+    def test_evict_roundtrip(self):
+        row = LogRow(123456, 0, 987654, 0)
+        tag, decoded = decode_record(encode_evict(row.index_key()))
+        assert tag == 2
+        assert decoded.index_key() == row.index_key()
+
+
+class TestPMDevice:
+    def test_tail_lost_on_crash(self):
+        device = PMDevice()
+        device.append(b"a")
+        device.flush()
+        device.append(b"b")
+        device.crash()
+        assert device.durable_records() == [b"a"]
+
+    def test_snapshot_truncates_log(self):
+        device = PMDevice()
+        device.append(b"a")
+        device.flush()
+        device.install_snapshot(b"IMG")
+        device.append(b"b")
+        device.flush()
+        assert device.snapshot == b"IMG"
+        assert device.durable_records() == [b"b"]
+
+    def test_log_bytes(self):
+        device = PMDevice()
+        device.append(b"abcd")
+        assert device.log_bytes == 4
+
+
+class TestDurability:
+    def test_clean_recovery(self):
+        device = PMDevice()
+        durable = DurableADO(make_ado(), device, group_commit=8)
+        rows = rows_sample(100)
+        for row in rows:
+            durable.ingest(row)
+        durable.sync()
+        recovered = DurableADO.recover(device, make_ado)
+        for row in rows:
+            assert recovered.lookup(row.index_key()) == row
+        assert recovered.dataset_bytes == durable.dataset_bytes
+
+    def test_crash_loses_at_most_group_commit_window(self):
+        device = PMDevice()
+        durable = DurableADO(make_ado(), device, group_commit=10)
+        rows = rows_sample(57)
+        for row in rows:
+            durable.ingest(row)
+        device.crash()  # 57 ops: 50 flushed, 7 lost
+        recovered = DurableADO.recover(device, make_ado)
+        for row in rows[:50]:
+            assert recovered.lookup(row.index_key()) == row, "durable op lost"
+        for row in rows[50:]:
+            assert recovered.lookup(row.index_key()) is None, "ghost op"
+
+    def test_evicts_replay(self):
+        device = PMDevice()
+        durable = DurableADO(make_ado(), device, group_commit=4)
+        rows = rows_sample(40)
+        for row in rows:
+            durable.ingest(row)
+        for row in rows[:20]:
+            assert durable.evict(row.index_key())
+        durable.sync()
+        recovered = DurableADO.recover(device, make_ado)
+        for row in rows[:20]:
+            assert recovered.lookup(row.index_key()) is None
+        for row in rows[20:]:
+            assert recovered.lookup(row.index_key()) == row
+
+    def test_checkpoint_then_recover(self):
+        device = PMDevice()
+        durable = DurableADO(make_ado(), device, group_commit=4)
+        rows = rows_sample(80)
+        for row in rows[:60]:
+            durable.ingest(row)
+        durable.checkpoint()
+        assert device.durable_records() == []  # log truncated
+        for row in rows[60:]:
+            durable.ingest(row)
+        durable.sync()
+        recovered = DurableADO.recover(device, make_ado)
+        for row in rows:
+            assert recovered.lookup(row.index_key()) == row
+
+    def test_crash_between_checkpoint_and_new_ops(self):
+        device = PMDevice()
+        durable = DurableADO(make_ado(), device, group_commit=100)
+        rows = rows_sample(30)
+        for row in rows[:20]:
+            durable.ingest(row)
+        durable.checkpoint()
+        for row in rows[20:]:
+            durable.ingest(row)  # never flushed (group_commit=100)
+        device.crash()
+        recovered = DurableADO.recover(device, make_ado)
+        for row in rows[:20]:
+            assert recovered.lookup(row.index_key()) == row
+        for row in rows[20:]:
+            assert recovered.lookup(row.index_key()) is None
+
+    def test_volatile_elastic_index_is_rebuilt(self):
+        """The elastic index is volatile state: a compact/standard mix
+        before the crash recovers into a consistent, correct index."""
+        device = PMDevice()
+        durable = DurableADO(make_elastic_ado(bound=40_000), device,
+                             group_commit=16)
+        rows = rows_sample(3000)
+        for row in rows:
+            durable.ingest(row)
+        durable.sync()
+        assert durable.ado.index.controller.stats.conversions_to_compact > 0
+        recovered = DurableADO.recover(
+            device, lambda: make_elastic_ado(bound=40_000)
+        )
+        rng = random.Random(3)
+        for row in rng.sample(rows, 100):
+            assert recovered.lookup(row.index_key()) == row
+        recovered.ado.index.check_elastic_invariants()
+
+    def test_random_crash_points_property(self):
+        """Failure injection across many crash points: recovery always
+        reflects exactly the durable prefix."""
+        rows = rows_sample(64, seed=9)
+        for crash_after in (0, 1, 7, 8, 9, 31, 32, 33, 63, 64):
+            device = PMDevice()
+            durable = DurableADO(make_ado(), device, group_commit=8)
+            for row in rows[:crash_after]:
+                durable.ingest(row)
+            device.crash()
+            durable_count = (crash_after // 8) * 8
+            recovered = DurableADO.recover(device, make_ado)
+            alive = sum(
+                1 for row in rows if recovered.lookup(row.index_key()) == row
+            )
+            assert alive == durable_count, (crash_after, alive)
+
+    def test_group_commit_validated(self):
+        with pytest.raises(ValueError):
+            DurableADO(make_ado(), PMDevice(), group_commit=0)

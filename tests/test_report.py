@@ -1,0 +1,49 @@
+"""Tests for the markdown report generator."""
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import build_report, result_to_markdown, save_report
+
+
+def sample_result():
+    result = ExperimentResult("figX", "Demo figure", x_label="items")
+    result.xs = [10, 20]
+    result.add_series("stx", [1.2345, 2000.0])
+    result.add_series("elastic", [float("nan"), 0.5])
+    result.add_row("paper", "some claim")
+    return result
+
+
+class TestResultToMarkdown:
+    def test_contains_table_and_rows(self):
+        text = result_to_markdown(sample_result())
+        assert "## figX — Demo figure" in text
+        assert "| items | 10 | 20 |" in text
+        assert "| stx | 1.234 | 2,000 |" in text
+        assert "— " in text or "| — |" in text  # NaN rendered as a dash
+        assert "- **paper**: some claim" in text
+
+    def test_rows_only_result(self):
+        result = ExperimentResult("figY", "No series")
+        result.add_row("k", "v")
+        text = result_to_markdown(result)
+        assert "|" not in text.split("\n\n")[1] if "\n\n" in text else True
+        assert "- **k**: v" in text
+
+
+class TestBuildReport:
+    def test_title_preamble_and_sections(self):
+        text = build_report(
+            [sample_result()],
+            title="My report",
+            preamble="context here",
+            timestamp="2026-07-05",
+        )
+        assert text.startswith("# My report")
+        assert "_Generated 2026-07-05._" in text
+        assert "context here" in text
+        assert "## figX" in text
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "report.md"
+        save_report([sample_result()], str(path), timestamp="2026-07-05")
+        assert "figX" in path.read_text()

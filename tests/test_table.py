@@ -1,0 +1,62 @@
+"""Unit tests for the table substrate."""
+
+import pytest
+
+from repro.keys.encoding import encode_u64
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.cost_model import CostModel
+from repro.table.table import Table
+
+
+def make_table(with_alloc=False):
+    cost = CostModel()
+    alloc = TrackingAllocator(use_size_classes=False) if with_alloc else None
+    table = Table(encode_u64, row_bytes=32, cost_model=cost, allocator=alloc)
+    return table, cost, alloc
+
+
+class TestTable:
+    def test_insert_and_row(self):
+        table, _, _ = make_table()
+        tid = table.insert_row(42)
+        assert table.row(tid) == 42
+
+    def test_load_key_extracts_and_charges(self):
+        table, cost, _ = make_table()
+        tid = table.insert_row(42)
+        cost.reset()
+        assert table.load_key(tid) == encode_u64(42)
+        assert cost.counts.get("key_load") == 1
+
+    def test_peek_key_does_not_charge(self):
+        table, cost, _ = make_table()
+        tid = table.insert_row(42)
+        cost.reset()
+        table.peek_key(tid)
+        assert "key_load" not in cost.counts
+
+    def test_tid_reuse_after_delete(self):
+        table, _, _ = make_table()
+        tid = table.insert_row(1)
+        table.delete_row(tid)
+        tid2 = table.insert_row(2)
+        assert tid2 == tid
+        assert table.load_key(tid2) == encode_u64(2)
+
+    def test_dead_tid_raises(self):
+        table, _, _ = make_table()
+        tid = table.insert_row(1)
+        table.delete_row(tid)
+        with pytest.raises(KeyError):
+            table.load_key(tid)
+        with pytest.raises(KeyError):
+            table.delete_row(tid)
+
+    def test_dataset_bytes(self):
+        table, _, alloc = make_table(with_alloc=True)
+        tids = [table.insert_row(i) for i in range(10)]
+        assert table.dataset_bytes == 320
+        assert alloc.bytes_in("table") == 320
+        table.delete_row(tids[0])
+        assert table.dataset_bytes == 288
+        assert len(table) == 9

