@@ -66,6 +66,34 @@ def test_fig6_ycsb(benchmark, show):
     assert mem["hot"] < 0.6
 
 
+def test_fig6_batched_mode(benchmark, show):
+    """Batched execution (``batch_size``): the same YCSB operation
+    stream staged through the BatchExecutor.  Sorted-run descent sharing
+    plus MLP-rate key loads must raise cost-model throughput on every
+    index, on the load phase and on the read-heavy panels."""
+    kwargs = dict(
+        load_n=scaled(6_000),
+        txn_n=scaled(8_000),
+        workloads=("A", "C"),
+        distributions=("zipfian",),
+        indexes=("stx", "elastic75", "hot"),
+    )
+    scalar = fig6.run(**kwargs)
+    batched = run_once(benchmark, fig6.run, batch_size=256, **kwargs)
+    show(batched)
+    panels = {row[1]: int(row[0].split()[1]) for row in batched.rows
+              if row[0].startswith("panel")}
+    for name in ("stx", "elastic75", "hot"):
+        s, b = scalar.get(name), batched.get(name)
+        # Load phase and workload C (pure reads) must get cheaper; the
+        # HOT baseline runs the sorted fallback and must not get worse.
+        for panel in ("load", "C/zipfian"):
+            i = panels[panel]
+            assert b[i] >= 0.95 * s[i], (name, panel, s[i], b[i])
+        if name != "hot":
+            assert b[panels["C/zipfian"]] > 1.2 * s[panels["C/zipfian"]], name
+
+
 def test_workloads_b_c_d_yield_similar_results(benchmark, show):
     """Section 6.2: "Workloads B, C and D yield similar results and hence
     are not shown in the plots" — verified here: their transaction

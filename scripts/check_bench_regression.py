@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Guard the batched-execution economics against regressions.
+
+Runs the batch-lookup benchmark (``repro.bench.batch``) in a small,
+deterministic smoke configuration and compares its *weighted cost
+units* — which are exactly reproducible, unlike wall-clock — against
+the committed baseline ``BENCH_batch.json``.  Fails (exit 1) when any
+tracked cost metric regresses by more than 25%, or when the batch cost
+saving falls below the 30% acceptance floor.  Optionally smoke-runs the
+wall-clock microbenchmarks (one pass, timing disabled) to catch crashes
+there without gating on noisy timings.
+
+Not part of the tier-1 test suite (pytest testpaths excludes scripts/);
+run it by hand or from CI:
+
+    PYTHONPATH=src python scripts/check_bench_regression.py
+    PYTHONPATH=src python scripts/check_bench_regression.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO, "BENCH_batch.json")
+TOLERANCE = 0.25
+SAVING_FLOOR = 0.30
+
+#: Deterministic smoke configuration (seeded rngs, cost units exact).
+SMOKE = dict(
+    n_keys=20_000,
+    query_count=2048,
+    batch_sizes=(1, 16, 256, 2048),
+    indexes=("elastic", "stx"),
+    seed=11,
+    wall_repeats=1,
+)
+
+
+def run_smoke():
+    from repro.bench import batch
+
+    result = batch.run(**SMOKE)
+    metrics = {}
+    for kind in SMOKE["indexes"]:
+        summary = result.meta[kind]
+        metrics[f"{kind}.scalar_cost_units"] = summary["scalar_cost_units"]
+        metrics[f"{kind}.batch_cost_units"] = summary["batch_cost_units"]
+        metrics[f"{kind}.cost_saving"] = summary["cost_saving"]
+    return result, metrics
+
+
+def check(metrics: dict, baseline: dict) -> list:
+    failures = []
+    for name, value in metrics.items():
+        if name.endswith("cost_saving"):
+            if value < SAVING_FLOOR:
+                failures.append(
+                    f"{name}: saving {value:.3f} below floor {SAVING_FLOOR}"
+                )
+            continue
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+    return failures
+
+
+def smoke_wallclock() -> int:
+    """One timing-disabled pass over the wall-clock microbenchmarks."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            os.path.join(REPO, "benchmarks", "bench_wallclock_micro.py"),
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable",
+            "--override-ini",
+            "testpaths=benchmarks",
+        ],
+        env=env,
+        cwd=REPO,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BENCH_batch.json from the current run",
+    )
+    parser.add_argument(
+        "--skip-wallclock",
+        action="store_true",
+        help="skip the wall-clock microbenchmark smoke pass",
+    )
+    args = parser.parse_args()
+
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    result, metrics = run_smoke()
+    print(result.render())
+    print()
+
+    if args.update:
+        payload = {"config": {k: list(v) if isinstance(v, tuple) else v
+                              for k, v in SMOKE.items()},
+                   **{k: round(v, 4) for k, v in metrics.items()}}
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        print(f"no baseline at {BASELINE_PATH}; run with --update first")
+        return 1
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    failures = check(metrics, baseline)
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if not failures:
+        print("cost metrics within tolerance of baseline")
+
+    if not args.skip_wallclock:
+        print("\nwall-clock micro smoke pass (timing disabled):")
+        if smoke_wallclock() != 0:
+            failures.append("wall-clock microbenchmark smoke pass failed")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

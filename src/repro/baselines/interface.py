@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 
 @runtime_checkable
@@ -12,6 +12,12 @@ class OrderedIndex(Protocol):
     Implemented by :class:`repro.btree.BPlusTree` (and its elastic and
     all-compact variants) and every baseline in this package, so that
     workload runners and benchmark drivers are index-agnostic.
+
+    Batching: indexes *may* additionally provide ``lookup_batch``,
+    ``insert_sorted_batch`` and ``scan_batch`` native fast paths (the
+    B+-tree family does); :class:`repro.exec.BatchExecutor` prefers them
+    and otherwise falls back to the sorted scalar loops below, so every
+    ``INDEX_BUILDERS`` name accepts batches.
     """
 
     def insert(self, key: bytes, tid: int) -> Optional[int]:
@@ -37,3 +43,47 @@ class OrderedIndex(Protocol):
     def index_bytes(self) -> int:
         """Simulated memory footprint of the index structure."""
         ...
+
+
+# ----------------------------------------------------------------------
+# Generic batch fallbacks (sorted scalar loops)
+# ----------------------------------------------------------------------
+# These give every OrderedIndex a batch surface.  Sorting the batch into
+# a run costs nothing under the cost model but matches the native fast
+# paths' semantics exactly (duplicate keys apply in input order), keeps
+# wall-clock cache behaviour reasonable, and makes the executor's
+# contract uniform: a batch is always applied in sorted-run order.
+
+def lookup_batch_fallback(
+    index: OrderedIndex, keys: Sequence[bytes]
+) -> List[Optional[int]]:
+    """Scalar-loop batch lookup; results align with the input order."""
+    results: List[Optional[int]] = [None] * len(keys)
+    for i in sorted(range(len(keys)), key=keys.__getitem__):
+        results[i] = index.lookup(keys[i])
+    return results
+
+
+def insert_batch_fallback(
+    index: OrderedIndex, pairs: Sequence[Tuple[bytes, int]]
+) -> List[Optional[int]]:
+    """Scalar-loop batch insert in sorted-run order.
+
+    Duplicate keys within the batch apply in input order (stable sort on
+    the key), so the outcome matches a plain input-order loop.
+    """
+    results: List[Optional[int]] = [None] * len(pairs)
+    for i in sorted(range(len(pairs)), key=lambda i: pairs[i][0]):
+        key, tid = pairs[i]
+        results[i] = index.insert(key, tid)
+    return results
+
+
+def scan_batch_fallback(
+    index: OrderedIndex, start_keys: Sequence[bytes], count: int
+) -> List[List[Tuple[bytes, int]]]:
+    """Scalar-loop batch scan; results align with the input order."""
+    results: List[List[Tuple[bytes, int]]] = [[] for _ in start_keys]
+    for i in sorted(range(len(start_keys)), key=start_keys.__getitem__):
+        results[i] = index.scan(start_keys[i], count)
+    return results

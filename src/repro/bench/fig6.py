@@ -10,7 +10,7 @@ from the paper's plots; the driver accepts any subset.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import (
     ExperimentResult,
@@ -50,12 +50,20 @@ def run(
     indexes: Sequence[str] = DEFAULT_INDEXES,
     scan_max: int = 100,
     seed: int = 6,
+    batch_size: Optional[int] = None,
 ) -> ExperimentResult:
-    """YCSB load throughput, txn throughput, and load-phase memory."""
+    """YCSB load throughput, txn throughput, and load-phase memory.
+
+    With ``batch_size`` set, both phases execute through the batched
+    mode (``YCSBRunner.load(batch_size=...)`` / ``run_batched``): same
+    operation stream, amortized descents.
+    """
     bytes_per_key = estimate_stx_bytes_per_key()
+    experiment_id = "fig6" if batch_size is None else f"fig6-batch{batch_size}"
     result = ExperimentResult(
-        "fig6",
-        "YCSB throughput (load phase; txn phase per workload)",
+        experiment_id,
+        "YCSB throughput (load phase; txn phase per workload)"
+        + (f" — batched execution, batch={batch_size}" if batch_size else ""),
         x_label="panel",
     )
     # Panels: 0 = load, then one per (workload, distribution).
@@ -80,7 +88,11 @@ def run(
                 runner = YCSBRunner(
                     env.index, env.table, YCSB_CORE["C"], seed=seed
                 )
-                m = measure(env.cost, load_n, lambda: runner.load(load_n))
+                m = measure(
+                    env.cost,
+                    load_n,
+                    lambda: runner.load(load_n, batch_size=batch_size),
+                )
                 load_tput = m.throughput
                 memory_after_load[name] = env.index.index_bytes
                 ys.append(m.throughput)
@@ -98,7 +110,14 @@ def run(
             )
             runner.load(load_n)
             ops = txn_n if workload != "E" else txn_n // 4
-            m = measure(env.cost, ops, lambda: runner.run(ops))
+            if batch_size is None:
+                m = measure(env.cost, ops, lambda: runner.run(ops))
+            else:
+                m = measure(
+                    env.cost,
+                    ops,
+                    lambda: runner.run_batched(ops, batch_size=batch_size),
+                )
             ys.append(m.throughput)
         result.add_series(name, ys)
 

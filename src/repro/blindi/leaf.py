@@ -150,6 +150,22 @@ class CompactLeaf(LeafNode):
             return self.rep.tid_at(result.pos)
         return None
 
+    def lookup_batch(self, keys: List[bytes]) -> List[Optional[int]]:
+        # One node access for the whole run (the blind-trie payload stays
+        # cache-resident); every verification load is issued as part of a
+        # batch of independent accesses, so it charges at the overlapped
+        # key_load_batched rate instead of the dependent-load rate.
+        rep = self.rep
+        out: List[Optional[int]] = []
+        with self.cost.attributed_to("compact.search"):
+            self.cost.rand_lines(1)
+            self._breathing_search_cost()
+            with self.cost.mlp_batch():
+                for key in keys:
+                    result = rep.search(key)
+                    out.append(rep.tid_at(result.pos) if result.found else None)
+        return out
+
     def upsert(self, key: bytes, tid: int) -> Optional[int]:
         with self.cost.attributed_to("compact.search"):
             self.cost.rand_lines(1)

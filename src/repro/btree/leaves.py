@@ -97,6 +97,15 @@ class LeafNode(abc.ABC):
     def lookup(self, key: bytes) -> Optional[int]:
         """Return the tuple id mapped to ``key``, or ``None``."""
 
+    def lookup_batch(self, keys: List[bytes]) -> List[Optional[int]]:
+        """Look up a sorted run of keys that all route to this leaf.
+
+        The default is the scalar loop; representations override it to
+        share per-node access costs across the run and to issue indirect
+        key loads as independent (batched) accesses.
+        """
+        return [self.lookup(key) for key in keys]
+
     @abc.abstractmethod
     def upsert(self, key: bytes, tid: int) -> Optional[int]:
         """Insert or replace ``key``; returns the replaced tuple id.
@@ -271,6 +280,33 @@ class StandardLeaf(LeafNode):
             self.cost.seq_lines(1)  # tid slot access
             return self.tids[pos]
         return None
+
+    def lookup_batch(self, keys: List[bytes]) -> List[Optional[int]]:
+        # The node's lines stay cache-resident across the run, so the
+        # random touches are charged once per batch visit; the per-key
+        # binary searches still pay their ALU work.
+        leaf_keys = self.keys
+        n = len(leaf_keys)
+        cost = self.cost
+        cost.rand_lines(1)
+        if n and n * self.key_width > _CACHE_LINE:
+            cost.rand_lines(1)
+        probes = max(1, n.bit_length()) if n else 1
+        cost.compares(probes * len(keys))
+        cost.branches(probes * len(keys))
+        out: List[Optional[int]] = []
+        hits = 0
+        tids = self.tids
+        for key in keys:
+            pos = bisect.bisect_left(leaf_keys, key)
+            if pos < n and leaf_keys[pos] == key:
+                hits += 1
+                out.append(tids[pos])
+            else:
+                out.append(None)
+        if hits:
+            cost.seq_lines(hits)  # tid slot accesses
+        return out
 
     def upsert(self, key: bytes, tid: int) -> Optional[int]:
         pos = self._position(key)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.btree.leaves import (
     LeafFullError,
@@ -185,6 +185,99 @@ class BPlusTree:
             self.trace.append(node.node_id)
         return path, node
 
+    def _descend_bounded(
+        self, key: bytes
+    ) -> Tuple[Path, LeafNode, Optional[bytes]]:
+        """Like :meth:`descend`, but also return the leaf's upper bound.
+
+        The bound is the tightest separator above the taken path (or
+        ``None`` for the rightmost leaf): every key < bound routes to the
+        same leaf, which is what lets batched inserts reuse one descent
+        for a run of consecutive keys.
+        """
+        path: Path = []
+        hi: Optional[bytes] = None
+        node = self.root
+        while isinstance(node, InnerNode):
+            if self.trace is not None:
+                self.trace.append(node.node_id)
+            idx = node.route(key)
+            if idx < len(node.keys):
+                # Separator ranges nest, so deeper bounds are tighter.
+                hi = node.keys[idx]
+            path.append((node, idx))
+            node = node.children[idx]
+        if self.trace is not None:
+            self.trace.append(node.node_id)
+        return path, node, hi
+
+    # ------------------------------------------------------------------
+    # Batched descent (sorted-run descent sharing)
+    # ------------------------------------------------------------------
+    def _partition_descend(
+        self, run: List[bytes]
+    ) -> List[Tuple[LeafNode, int, int]]:
+        """Route a sorted key run to leaves, descending once per subtree.
+
+        Recursively partitions ``run`` at inner-node separators and
+        returns ``(leaf, lo, hi)`` groups covering the run in order.
+        Each inner node charges its ``rand_line`` and routing compare
+        cost once per batch visit (plus one compare per extra child
+        taken) instead of once per key — the descent-sharing economy of
+        batched B+-tree execution.
+        """
+        groups: List[Tuple[LeafNode, int, int]] = []
+        inner_visits = 0
+        probe_events = 0
+        stack: List[Tuple[Node, int, int]] = [(self.root, 0, len(run))]
+        while stack:
+            node, lo, hi = stack.pop()
+            while isinstance(node, InnerNode):
+                if self.trace is not None:
+                    self.trace.append(node.node_id)
+                inner_visits += 1
+                seps = node.keys
+                probe_events += max(1, len(seps).bit_length())
+                first = bisect.bisect_right(seps, run[lo])
+                last = bisect.bisect_right(seps, run[hi - 1])
+                if first == last:
+                    node = node.children[first]
+                    continue
+                # The run spans several children: split it at each
+                # separator (keys == separator route right, as in route()).
+                probe_events += last - first
+                bounds = [lo]
+                for ci in range(first, last):
+                    bounds.append(
+                        bisect.bisect_left(run, seps[ci], bounds[-1], hi)
+                    )
+                bounds.append(hi)
+                children = node.children
+                for offset in range(last - first, 0, -1):
+                    blo = bounds[offset]
+                    bhi = bounds[offset + 1]
+                    if blo < bhi:
+                        stack.append((children[first + offset], blo, bhi))
+                hi = bounds[1]
+                node = children[first]
+                if lo >= hi:
+                    break
+            else:
+                if self.trace is not None:
+                    self.trace.append(node.node_id)
+                groups.append((node, lo, hi))
+        self.cost.rand_lines(inner_visits)
+        self.cost.compares(probe_events)
+        self.cost.branches(probe_events)
+        groups.sort(key=lambda g: g[1])
+        return groups
+
+    @staticmethod
+    def _sorted_run(keys: Sequence[bytes]) -> Tuple[List[int], List[bytes]]:
+        """Sort a batch into a run; returns (input positions, sorted keys)."""
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        return order, [keys[i] for i in order]
+
     # ------------------------------------------------------------------
     # Point operations
     # ------------------------------------------------------------------
@@ -192,6 +285,24 @@ class BPlusTree:
         """Point query: tuple id for ``key`` or ``None``."""
         _, leaf = self.descend(key)
         return leaf.lookup(key)
+
+    def lookup_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+        """Point-query a batch of keys with one shared descent.
+
+        Results align with the input order.  The batch is sorted into a
+        run, the tree is descended once per distinct subtree, and each
+        leaf answers its whole slice of the run in one visit (batched
+        indirect key loads on compact leaves).
+        """
+        results: List[Optional[int]] = [None] * len(keys)
+        if not keys:
+            return results
+        order, run = self._sorted_run(keys)
+        for leaf, lo, hi in self._partition_descend(run):
+            hits = leaf.lookup_batch(run[lo:hi])
+            for offset, tid in enumerate(hits):
+                results[order[lo + offset]] = tid
+        return results
 
     def insert(self, key: bytes, tid: int) -> Optional[int]:
         """Insert or replace; returns the replaced tuple id if any."""
@@ -210,6 +321,59 @@ class BPlusTree:
         if old is None:
             self._count += 1
         return old
+
+    def insert_sorted_batch(
+        self, pairs: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[int]]:
+        """Insert a batch of (key, tid) pairs, sharing descents.
+
+        Results (the replaced tuple id per pair, or ``None``) align with
+        the input order; duplicate keys within the batch apply in input
+        order, exactly as a scalar loop would.  The batch is sorted into
+        a run and one descent serves every consecutive key routing to the
+        same leaf; structural events (splits, elastic conversions) fall
+        back to a fresh descent, so overflow/underflow handlers fire
+        exactly as in scalar execution.
+        """
+        results: List[Optional[int]] = [None] * len(pairs)
+        if not pairs:
+            return results
+        order = sorted(range(len(pairs)), key=lambda i: pairs[i][0])
+        self.last_write_set = []
+        path: Path = []
+        leaf: Optional[LeafNode] = None
+        upper: Optional[bytes] = None
+        for i in order:
+            key, tid = pairs[i]
+            if len(key) != self.key_width:
+                raise ValueError(f"key width {len(key)} != {self.key_width}")
+            if leaf is None or (upper is not None and key >= upper):
+                path, leaf, upper = self._descend_bounded(key)
+            try:
+                old = leaf.upsert(key, tid)
+            except LeafFullError:
+                self.last_write_set.append(leaf.node_id)
+                self.overflow_handler(self, path, leaf, key, tid)
+                self._count += 1
+                # The handler restructured the tree (split or elastic
+                # conversion): the cached descent is no longer valid.
+                leaf = None
+                self._after_batch_structural_change()
+                continue
+            self.last_write_set.append(leaf.node_id)
+            if old is None:
+                self._count += 1
+            else:
+                results[i] = old
+        return results
+
+    def _after_batch_structural_change(self) -> None:
+        """Hook invoked after a structural event inside a batched insert.
+
+        The elastic tree drains deferred policy actions here — the point
+        where no cached descent state is live, so conversions and sweeps
+        may restructure the tree safely mid-batch.
+        """
 
     def remove(self, key: bytes) -> Optional[int]:
         """Remove ``key``; returns its tuple id or ``None`` if absent."""
@@ -234,6 +398,26 @@ class BPlusTree:
         """Collect up to ``count`` items with key >= ``start_key``."""
         _, leaf = self.descend(start_key)
         return self._collect_scan(leaf, start_key, count)
+
+    def scan_batch(
+        self, start_keys: Sequence[bytes], count: int
+    ) -> List[List[Tuple[bytes, int]]]:
+        """Run one ``count``-item scan per start key, sharing descents.
+
+        Results align with the input order.  Only the root-to-leaf
+        descents are shared; the leaf-chain walks are the same as
+        :meth:`scan`'s.
+        """
+        results: List[List[Tuple[bytes, int]]] = [[] for _ in start_keys]
+        if not start_keys:
+            return results
+        order, run = self._sorted_run(start_keys)
+        for leaf, lo, hi in self._partition_descend(run):
+            for offset in range(lo, hi):
+                results[order[offset]] = self._collect_scan(
+                    leaf, run[offset], count
+                )
+        return results
 
     def _collect_scan(
         self, leaf: LeafNode, start_key: bytes, count: int

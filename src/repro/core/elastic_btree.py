@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.btree.leaves import LeafNode
 from repro.btree.stats import TreeStats, collect_stats
 from repro.btree.tree import BPlusTree
 from repro.core.config import ElasticConfig
@@ -86,6 +87,82 @@ class ElasticBPlusTree(BPlusTree):
         result = super().remove(key)
         self.controller.run_pending()
         return result
+
+    # ------------------------------------------------------------------
+    # Batched execution (sorted-run descent sharing)
+    # ------------------------------------------------------------------
+    def lookup_batch(self, keys) -> List[Optional[int]]:
+        """Batched point queries; elasticity hooks fire per leaf visit.
+
+        Expansion splits are deferred to after the shared descent (they
+        restructure the tree, which would invalidate the run partition);
+        each visited compact leaf then gets the same per-search split
+        chances a scalar loop would have given it, via fresh descents.
+        """
+        results: List[Optional[int]] = [None] * len(keys)
+        if not keys:
+            return results
+        order, run = self._sorted_run(keys)
+        visited: List[Tuple[LeafNode, int]] = []
+        for leaf, lo, hi in self._partition_descend(run):
+            leaf.access_count += hi - lo
+            hits = leaf.lookup_batch(run[lo:hi])
+            for offset, tid in enumerate(hits):
+                results[order[lo + offset]] = tid
+            visited.append((leaf, hi - lo))
+        self._run_deferred_expansion(visited)
+        self.controller.run_pending()
+        return results
+
+    def scan_batch(self, start_keys, count: int):
+        results = [[] for _ in start_keys]
+        if not start_keys:
+            return results
+        order, run = self._sorted_run(start_keys)
+        visited: List[Tuple[LeafNode, int]] = []
+        for leaf, lo, hi in self._partition_descend(run):
+            leaf.access_count += hi - lo
+            for offset in range(lo, hi):
+                results[order[offset]] = self._collect_scan(
+                    leaf, run[offset], count
+                )
+            visited.append((leaf, hi - lo))
+        self._run_deferred_expansion(visited)
+        self.controller.run_pending()
+        return results
+
+    def _run_deferred_expansion(
+        self, visited: List[Tuple[LeafNode, int]]
+    ) -> None:
+        """Give each visited compact leaf its deferred expansion chances.
+
+        Mirrors the scalar path's ``on_search_leaf`` per query: a leaf a
+        batch touched ``times`` times gets up to ``times`` split chances.
+        Each attempt re-descends for a fresh path (the batch partition is
+        stale once any split lands), and stops once the leaf is replaced.
+        """
+        if self.controller.budget.state is not PressureState.EXPANDING:
+            return
+        for leaf, times in visited:
+            for _ in range(times):
+                if not leaf.is_compact or leaf.count < 2:
+                    break
+                path, found = self.descend(leaf.first_key())
+                if found is not leaf:
+                    break
+                if self.controller.on_search_leaf(path, found):
+                    break
+
+    def insert_sorted_batch(self, pairs) -> List[Optional[int]]:
+        results = super().insert_sorted_batch(pairs)
+        self.controller.run_pending()
+        return results
+
+    def _after_batch_structural_change(self) -> None:
+        # Mid-batch operation boundary: the batched insert loop has just
+        # invalidated its cached descent, so deferred policy actions
+        # (cold sweeps, state-change work) may restructure the tree.
+        self.controller.run_pending()
 
     # ------------------------------------------------------------------
     # Introspection

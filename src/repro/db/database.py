@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import build_index
+from repro.exec import BatchExecutor
 from repro.keys.encoding import encode_f64, encode_i64, encode_str
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.cost_model import CostModel
@@ -35,24 +36,17 @@ class TableView:
         self._key_of_row = key_of_row
 
     def load_key(self, tid: int) -> bytes:
-        row = self._table._rows[tid]
-        if row is None:
-            raise KeyError(f"tuple id {tid} is not live")
+        row = self._table.live_row(tid)
         self._table.cost_model.key_loads(1)
         return self._key_of_row(row)
 
     def load_key_batched(self, tid: int) -> bytes:
-        row = self._table._rows[tid]
-        if row is None:
-            raise KeyError(f"tuple id {tid} is not live")
+        row = self._table.live_row(tid)
         self._table.cost_model.key_loads_batched(1)
         return self._key_of_row(row)
 
     def peek_key(self, tid: int) -> bytes:
-        row = self._table._rows[tid]
-        if row is None:
-            raise KeyError(f"tuple id {tid} is not live")
-        return self._key_of_row(row)
+        return self._key_of_row(self._table.live_row(tid))
 
 
 class SecondaryIndex:
@@ -75,6 +69,14 @@ class SecondaryIndex:
         self._positions = positions
         self.index = index
         self.view = view
+        self._executor: Optional[BatchExecutor] = None
+
+    @property
+    def executor(self) -> BatchExecutor:
+        """Lazily-built batch executor over this index."""
+        if self._executor is None or self._executor.index is not self.index:
+            self._executor = BatchExecutor(self.index)
+        return self._executor
 
     @property
     def key_width(self) -> int:
@@ -156,10 +158,8 @@ class DBTable:
         secondary.view = view
         self.indexes[name] = secondary
         # Back-fill existing rows.
-        for tid in range(len(self.table._rows)):
-            row = self.table._rows[tid]
-            if row is not None:
-                index.insert(secondary.key_of_row(row), tid)
+        for tid, row in self.table.iter_live():
+            index.insert(secondary.key_of_row(row), tid)
         return secondary
 
     # ------------------------------------------------------------------
@@ -177,6 +177,27 @@ class DBTable:
         for secondary in self.indexes.values():
             secondary.index.insert(secondary.key_of_row(row), tid)
         return tid
+
+    def insert_many(self, rows: Sequence[Sequence[int]]) -> List[int]:
+        """Store a batch of rows, updating every index with one batch
+        insert per index (shared descents on batch-capable indexes)."""
+        stored: List[Tuple[Tuple, int]] = []
+        tids: List[int] = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(self.schema.column_names):
+                raise ValueError(
+                    f"row has {len(row)} columns, schema needs "
+                    f"{len(self.schema.column_names)}"
+                )
+            tid = self.table.insert_row(row)
+            stored.append((row, tid))
+            tids.append(tid)
+        for secondary in self.indexes.values():
+            secondary.executor.insert_many(
+                [(secondary.key_of_row(row), tid) for row, tid in stored]
+            )
+        return tids
 
     def delete(self, tid: int) -> Tuple[int, ...]:
         """Remove a row from the store and every index."""
@@ -196,6 +217,32 @@ class DBTable:
         if tid is None:
             return None
         return self.table.row(tid)
+
+    def get_many(
+        self, index_name: str, values_batch: Sequence[Sequence[int]]
+    ) -> List[Optional[Tuple]]:
+        """Batched point queries through one index; row or ``None`` per
+        entry, aligned with the input order."""
+        secondary = self.indexes[index_name]
+        keys = [secondary.key_of_values(values) for values in values_batch]
+        tids = secondary.executor.get_many(keys)
+        return [
+            self.table.row(tid) if tid is not None else None for tid in tids
+        ]
+
+    def scan_many(
+        self,
+        index_name: str,
+        start_values_batch: Sequence[Sequence[int]],
+        count: int,
+    ) -> List[List[Tuple]]:
+        """Batched range queries: ``count`` rows per start, index order."""
+        secondary = self.indexes[index_name]
+        starts = [secondary.key_of_values(v) for v in start_values_batch]
+        return [
+            [self.table.row(tid) for _, tid in items]
+            for items in secondary.executor.range_many(starts, count)
+        ]
 
     def scan(
         self, index_name: str, start_values: Sequence[int], count: int

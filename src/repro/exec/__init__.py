@@ -1,0 +1,11 @@
+"""Batched query execution over any ordered index.
+
+:class:`~repro.exec.executor.BatchExecutor` turns per-key index calls
+into batch calls: sorted-run descent sharing on the B+-tree family and
+sorted scalar loops everywhere else.  See DESIGN.md, "Batched
+execution".
+"""
+
+from repro.exec.executor import BatchExecutor, BatchStats
+
+__all__ = ["BatchExecutor", "BatchStats"]

@@ -1,0 +1,135 @@
+"""BatchExecutor: amortized execution of operation batches.
+
+Why batching (see ISSUE/DESIGN): a YCSB batch of 10k point lookups
+executed one key per descent pays the root-to-leaf pointer-chase cost
+10k times.  Sorting the batch into a run and descending once per
+distinct subtree charges each inner node's random line and routing
+compares once per batch; the per-key indirect loads that remain are
+independent of each other, so they charge at the overlapped
+``key_load_batched`` rate (memory-level parallelism) instead of the
+dependent-load rate.  The BS-tree demonstrates the descent-sharing
+economy for batched B+-tree operations; the Cuckoo Trie demonstrates
+the MLP economy for independent key loads.
+
+The executor prefers an index's native batch surface
+(``lookup_batch`` / ``insert_sorted_batch`` / ``scan_batch``, provided
+by the B+-tree family including the elastic tree) and falls back to the
+sorted scalar loops of :mod:`repro.baselines.interface` otherwise, so
+every benchmark index name accepts batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.interface import (
+    insert_batch_fallback,
+    lookup_batch_fallback,
+    scan_batch_fallback,
+)
+
+
+@dataclass
+class BatchStats:
+    """Counters of executor activity (native vs. fallback dispatch)."""
+
+    batches: int = 0
+    ops: int = 0
+    native_batches: int = 0
+    fallback_batches: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, kind: str, ops: int, native: bool) -> None:
+        self.batches += 1
+        self.ops += ops
+        if native:
+            self.native_batches += 1
+        else:
+            self.fallback_batches += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + ops
+
+
+class BatchExecutor:
+    """Executes operation batches against one ordered index.
+
+    Args:
+        index: Any :class:`~repro.baselines.interface.OrderedIndex`.
+        max_batch: Batches larger than this are executed in chunks, so a
+            caller may hand over an arbitrarily large operation buffer
+            (an execution engine would bound its run size the same way).
+    """
+
+    def __init__(self, index, max_batch: int = 4096) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.index = index
+        self.max_batch = max_batch
+        self.stats = BatchStats()
+        self._lookup_native = getattr(index, "lookup_batch", None)
+        self._insert_native = getattr(index, "insert_sorted_batch", None)
+        self._scan_native = getattr(index, "scan_batch", None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def native(self) -> bool:
+        """Whether the index provides the native batch fast paths."""
+        return self._lookup_native is not None
+
+    # ------------------------------------------------------------------
+    # Batch operations
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+        """Point-query a batch; results align with the input order."""
+        out: List[Optional[int]] = []
+        for chunk in self._chunks(keys):
+            self.stats.record("get", len(chunk), self._lookup_native is not None)
+            if self._lookup_native is not None:
+                out.extend(self._lookup_native(chunk))
+            else:
+                out.extend(lookup_batch_fallback(self.index, chunk))
+        return out
+
+    def insert_many(
+        self, pairs: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[int]]:
+        """Insert a batch of (key, tid) pairs; returns replaced tids.
+
+        Each chunk is applied in sorted-run order; duplicate keys within
+        a chunk apply in input order, so the outcome matches a scalar
+        input-order loop.
+        """
+        out: List[Optional[int]] = []
+        for chunk in self._chunks(pairs):
+            self.stats.record(
+                "insert", len(chunk), self._insert_native is not None
+            )
+            if self._insert_native is not None:
+                out.extend(self._insert_native(chunk))
+            else:
+                out.extend(insert_batch_fallback(self.index, chunk))
+        return out
+
+    def range_many(
+        self, start_keys: Sequence[bytes], count: int
+    ) -> List[List[Tuple[bytes, int]]]:
+        """Run one ``count``-item scan per start key."""
+        out: List[List[Tuple[bytes, int]]] = []
+        for chunk in self._chunks(start_keys):
+            self.stats.record("scan", len(chunk), self._scan_native is not None)
+            if self._scan_native is not None:
+                out.extend(self._scan_native(chunk, count))
+            else:
+                out.extend(scan_batch_fallback(self.index, chunk, count))
+        return out
+
+    # ------------------------------------------------------------------
+    def _chunks(self, items: Sequence):
+        if len(items) <= self.max_batch:
+            if items:
+                yield items
+            return
+        for i in range(0, len(items), self.max_batch):
+            yield items[i : i + self.max_batch]

@@ -73,8 +73,22 @@ class CostWeights:
     fixed_op: float = 1.0
 
     def as_dict(self) -> Dict[str, float]:
-        """Return the weights as a plain dict keyed by category name."""
-        return asdict(self)
+        """Return the weights as a plain dict keyed by category name.
+
+        The dict is computed once and cached on the (frozen) instance:
+        ``weighted_cost``/``tagged_cost`` sit on the benchmark hot path
+        and ``dataclasses.asdict`` is far too slow to re-run per call.
+        A copy is returned so callers may mutate their dict freely.
+        """
+        return dict(self._weight_map())
+
+    def _weight_map(self) -> Dict[str, float]:
+        """The cached weight dict itself (internal: do not mutate)."""
+        cached = self.__dict__.get("_weight_cache")
+        if cached is None:
+            cached = asdict(self)
+            object.__setattr__(self, "_weight_cache", cached)
+        return cached
 
 
 _CACHE_LINE = 64
@@ -96,15 +110,21 @@ class CostModel:
     #: Per-tag event counts for attributed charging (see ``attributed_to``).
     tagged: Dict[str, Dict[str, int]] = field(default_factory=dict)
     _attribution: str = field(default="", repr=False)
+    #: Nesting depth of :meth:`mlp_batch` blocks.  When positive,
+    #: dependent key loads charge as independent (batched) loads.
+    _mlp_depth: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
     # Charging primitives
     # ------------------------------------------------------------------
     def charge(self, category: str, count: int = 1) -> None:
         """Record ``count`` events of ``category``."""
-        if not self.enabled or count == 0:
+        # Hot path: millions of calls per benchmark.  One early-exit test,
+        # local dict binding, no attribute re-lookups.
+        if not (count and self.enabled):
             return
-        self.counts[category] = self.counts.get(category, 0) + count
+        counts = self.counts
+        counts[category] = counts.get(category, 0) + count
         if self._attribution:
             bucket = self.tagged.setdefault(self._attribution, {})
             bucket[category] = bucket.get(category, 0) + count
@@ -118,8 +138,15 @@ class CostModel:
         self.charge("seq_line", n)
 
     def key_loads(self, n: int = 1) -> None:
-        """Charge ``n`` dependent indirect key loads from the table."""
-        self.charge("key_load", n)
+        """Charge ``n`` dependent indirect key loads from the table.
+
+        Inside an :meth:`mlp_batch` block the loads belong to a batch of
+        independent accesses and charge at the overlapped (batched) rate.
+        """
+        if self._mlp_depth:
+            self.charge("key_load_batched", n)
+        else:
+            self.charge("key_load", n)
 
     def key_loads_batched(self, n: int = 1) -> None:
         """Charge ``n`` independent (overlappable) indirect key loads."""
@@ -160,12 +187,28 @@ class CostModel:
         # Stored scaled by 1000 to keep counters integral.
         self.charge("fixed_op_milli", int(units * 1000))
 
+    @contextmanager
+    def mlp_batch(self) -> Iterator[None]:
+        """Treat dependent key loads inside the block as members of a
+        batch of *independent* loads.
+
+        Batched execution turns the one-verify-load-per-lookup pointer
+        chase into many outstanding loads an out-of-order core overlaps
+        (memory-level parallelism, cf. the Cuckoo Trie); under this block
+        ``key_loads`` charges at the ``key_load_batched`` rate.  Nests.
+        """
+        self._mlp_depth += 1
+        try:
+            yield
+        finally:
+            self._mlp_depth -= 1
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def weighted_cost(self) -> float:
         """Total cost in DRAM-miss units under the configured weights."""
-        weights = self.weights.as_dict()
+        weights = self.weights._weight_map()
         total = 0.0
         for category, count in self.counts.items():
             if category == "fixed_op_milli":
@@ -211,7 +254,7 @@ class CostModel:
 
     def tagged_cost(self, tag: str) -> float:
         """Weighted cost of the events attributed to ``tag``."""
-        weights = self.weights.as_dict()
+        weights = self.weights._weight_map()
         total = 0.0
         for category, count in self.tagged.get(tag, {}).items():
             if category == "fixed_op_milli":

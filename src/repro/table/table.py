@@ -124,10 +124,20 @@ class Table:
 
     def row(self, tid: int) -> Any:
         """Fetch a row by tuple id (charges one random access)."""
+        row = self.live_row(tid)
+        self.cost_model.rand_lines(1)
+        return row
+
+    def live_row(self, tid: int) -> Any:
+        """The live row stored under ``tid``, without cost charging.
+
+        This is the public accessor for code that needs raw row data and
+        does its own cost accounting (e.g. per-index ``TableView``s);
+        raises ``KeyError`` for dead or reused-and-freed tuple ids.
+        """
         row = self._rows[tid]
         if row is None:
             raise KeyError(f"tuple id {tid} is not live")
-        self.cost_model.rand_lines(1)
         return row
 
     # ------------------------------------------------------------------
@@ -135,9 +145,7 @@ class Table:
     # ------------------------------------------------------------------
     def load_key(self, tid: int) -> bytes:
         """Load the index key of row ``tid`` — one indirect access."""
-        row = self._rows[tid]
-        if row is None:
-            raise KeyError(f"tuple id {tid} is not live")
+        row = self.live_row(tid)
         self.cost_model.key_loads(1)
         return self._key_of_row(row)
 
@@ -147,18 +155,23 @@ class Table:
         Independent misses overlap in an out-of-order core, so these are
         cheaper than the dependent verify load of a point search.
         """
-        row = self._rows[tid]
-        if row is None:
-            raise KeyError(f"tuple id {tid} is not live")
+        row = self.live_row(tid)
         self.cost_model.key_loads_batched(1)
         return self._key_of_row(row)
 
     def peek_key(self, tid: int) -> bytes:
         """Load a key *without* charging cost (test/verification use only)."""
-        row = self._rows[tid]
-        if row is None:
-            raise KeyError(f"tuple id {tid} is not live")
-        return self._key_of_row(row)
+        return self._key_of_row(self.live_row(tid))
+
+    def iter_live(self):
+        """Yield ``(tid, row)`` for every live row, in tid order.
+
+        Uncharged: used for bulk work like index back-fill, where the
+        caller charges its own (index-side) costs.
+        """
+        for tid, row in enumerate(self._rows):
+            if row is not None:
+                yield tid, row
 
     # ------------------------------------------------------------------
     # Reporting

@@ -79,8 +79,19 @@ class YCSBRunner:
     # ------------------------------------------------------------------
     # Load phase
     # ------------------------------------------------------------------
-    def load(self, n: int) -> None:
-        """Insert ``n`` uniformly distributed 64-bit keys."""
+    def load(self, n: int, batch_size: Optional[int] = None) -> None:
+        """Insert ``n`` uniformly distributed 64-bit keys.
+
+        With ``batch_size`` set, index inserts flush through a
+        :class:`~repro.exec.BatchExecutor` in chunks (the batched load
+        phase); key generation and row storage are unchanged.
+        """
+        executor = None
+        if batch_size is not None:
+            from repro.exec import BatchExecutor
+
+            executor = BatchExecutor(self.index, max_batch=batch_size)
+        pending: List[Tuple[bytes, int]] = []
         while len(self.key_values) < n:
             value = self._value_rng.getrandbits(63)
             if value in self._key_set:
@@ -89,7 +100,15 @@ class YCSBRunner:
             self.key_values.append(value)
             key = encode_u64(value)
             tid = self.table.insert_row(value)
-            self.index.insert(key, tid)
+            if executor is None:
+                self.index.insert(key, tid)
+            else:
+                pending.append((key, tid))
+                if len(pending) >= batch_size:
+                    executor.insert_many(pending)
+                    pending.clear()
+        if executor is not None and pending:
+            executor.insert_many(pending)
         self._chooser = make_generator(
             self.request_dist, len(self.key_values), self._seed ^ 0xBEEF
         )
@@ -150,4 +169,81 @@ class YCSBRunner:
                 if tid is not None:
                     self.table.row(tid)
                     self.index.insert(key, tid)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Batched transaction phase
+    # ------------------------------------------------------------------
+    def run_batched(
+        self, op_count: int, batch_size: int = 256
+    ) -> Dict[str, int]:
+        """Execute ``op_count`` transactions through a batch executor.
+
+        The same operation stream as :meth:`run` (same rng draws, same
+        op mix) is staged into windows: lookups (reads, the read half of
+        updates and RMWs) and scans batch up until the next insert —
+        inserts grow the key population the request distribution draws
+        from, so they are execution barriers — then each segment flushes
+        as one ``get_many`` / ``range_many`` call.  Row touches and RMW
+        write-backs happen after the flush, exactly once per hit, as in
+        the scalar path.
+        """
+        if self._chooser is None:
+            raise RuntimeError("run_batched() requires a prior load()")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        from repro.exec import BatchExecutor
+
+        executor = BatchExecutor(self.index, max_batch=batch_size)
+        spec = self.spec
+        counts = {"read": 0, "update": 0, "insert": 0, "scan": 0, "rmw": 0}
+        thresholds = [
+            ("read", spec.read),
+            ("update", spec.read + spec.update),
+            ("insert", spec.read + spec.update + spec.insert),
+            ("scan", spec.read + spec.update + spec.insert + spec.scan),
+            ("rmw", 1.0),
+        ]
+        #: Pending (op, key) point lookups and pending (start, length) scans.
+        lookups: List[Tuple[str, bytes]] = []
+        scans: List[Tuple[bytes, int]] = []
+
+        def flush() -> None:
+            if lookups:
+                keys = [key for _, key in lookups]
+                tids = executor.get_many(keys)
+                for (op, key), tid in zip(lookups, tids):
+                    if tid is None or op == "read":
+                        continue
+                    # update / rmw: touch the row; rmw writes back.
+                    self.table.row(tid)
+                    if op == "rmw":
+                        self.index.insert(key, tid)
+                lookups.clear()
+            if scans:
+                # Workload E scan lengths vary per op; group by length so
+                # each range_many call is homogeneous.
+                by_length: Dict[int, List[bytes]] = {}
+                for start, length in scans:
+                    by_length.setdefault(length, []).append(start)
+                for length, starts in by_length.items():
+                    executor.range_many(starts, length)
+                scans.clear()
+
+        for _ in range(op_count):
+            roll = self._rng.random()
+            for op, bound in thresholds:
+                if roll < bound or bound == 1.0:
+                    break
+            counts[op] += 1
+            if op == "insert":
+                flush()  # inserts change the key population: barrier
+                self._op_insert()
+            elif op == "scan":
+                scans.append((self._pick_key(), self._rng.randint(1, spec.scan_max)))
+            else:  # read / update / rmw all start with a point lookup
+                lookups.append((op, self._pick_key()))
+            if len(lookups) >= batch_size or len(scans) >= batch_size:
+                flush()
+        flush()
         return counts

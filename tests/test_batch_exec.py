@@ -1,0 +1,326 @@
+"""Differential tests for the batched execution layer (repro.exec).
+
+Batched operations must be *semantically invisible*: ``get_many`` /
+``insert_many`` / ``range_many`` return exactly what a scalar loop
+returns, and after a batched insert the index is byte-identical
+(item count, index_bytes, structural stats) to one built by a scalar
+loop applying the same per-chunk sorted order.  The batch's whole point
+is its cost ledger, so the suite also pins the invariant that a shared
+descent never charges more weighted cost than per-key descents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.bench.harness import (
+    INDEX_BUILDERS,
+    estimate_stx_bytes_per_key,
+    make_u64_environment,
+)
+from repro.core.elasticity import PressureState
+from repro.exec import BatchExecutor
+from repro.keys.encoding import encode_u64
+
+NATIVE_BATCH = (
+    "stx",
+    "elastic",
+    "seqtree128",
+    "stx-seqtree",
+    "stx-subtrie",
+    "stx-seqtrie",
+    "bwtree",
+)
+
+
+def _pairs(env, values) -> List[Tuple[bytes, int]]:
+    return [(encode_u64(v), env.table.insert_row(v)) for v in values]
+
+
+def _mint_values(rng: random.Random, n: int) -> List[int]:
+    out, seen = [], set()
+    while len(out) < n:
+        v = rng.getrandbits(48)
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out
+
+
+def _env(name: str, **kwargs):
+    """make_u64_environment with a roomy default bound for elastic."""
+    if name == "elastic" and "size_bound_bytes" not in kwargs:
+        kwargs["size_bound_bytes"] = 1 << 22
+    return make_u64_environment(name, **kwargs)
+
+
+def _loaded_env(name: str, n: int, seed: int = 7, **kwargs):
+    env = _env(name, **kwargs)
+    rng = random.Random(seed)
+    values = _mint_values(rng, n)
+    for key, tid in _pairs(env, values):
+        env.index.insert(key, tid)
+    return env, values
+
+
+def _chunk_sorted_order(
+    pairs: List[Tuple[bytes, int]], chunk: int
+) -> List[Tuple[bytes, int]]:
+    """The order a BatchExecutor applies: per chunk, stable-sorted by key."""
+    out: List[Tuple[bytes, int]] = []
+    for i in range(0, len(pairs), chunk):
+        out.extend(sorted(pairs[i : i + chunk], key=lambda p: p[0]))
+    return out
+
+
+# ----------------------------------------------------------------------
+# get_many
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", INDEX_BUILDERS)
+def test_get_many_matches_scalar(name):
+    env, values = _loaded_env(name, 400)
+    rng = random.Random(99)
+    queries = [encode_u64(rng.choice(values)) for _ in range(300)]
+    queries += [encode_u64(rng.getrandbits(48)) for _ in range(100)]
+    rng.shuffle(queries)
+    expected = [env.index.lookup(k) for k in queries]
+    executor = BatchExecutor(env.index, max_batch=64)
+    assert executor.get_many(queries) == expected
+    assert executor.stats.ops == len(queries)
+    assert executor.native == (name in NATIVE_BATCH)
+
+
+@pytest.mark.parametrize("name", ("stx", "elastic", "hot"))
+def test_range_many_matches_scalar(name):
+    env, values = _loaded_env(name, 400)
+    rng = random.Random(5)
+    starts = [encode_u64(rng.choice(values)) for _ in range(40)]
+    starts += [encode_u64(rng.getrandbits(48)) for _ in range(10)]
+    expected = [env.index.scan(s, 12) for s in starts]
+    executor = BatchExecutor(env.index, max_batch=16)
+    assert executor.range_many(starts, 12) == expected
+
+
+# ----------------------------------------------------------------------
+# insert_many: identical results and byte-identical final state
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ("stx", "elastic", "seqtree128", "hot"))
+def test_insert_many_identical_state(name):
+    rng = random.Random(31)
+    values = _mint_values(rng, 700)
+    chunk = 128
+
+    batch_env = _env(name)
+    batch_pairs = _pairs(batch_env, values)
+    executor = BatchExecutor(batch_env.index, max_batch=chunk)
+    batch_results = executor.insert_many(batch_pairs)
+
+    scalar_env = _env(name)
+    scalar_pairs = _pairs(scalar_env, values)
+    scalar_results = [
+        scalar_env.index.insert(k, t)
+        for k, t in _chunk_sorted_order(scalar_pairs, chunk)
+    ]
+
+    # Results align with the *input* order; fresh keys all return None
+    # either way, so compare the multiset through sorted order too.
+    assert batch_results == [None] * len(values)
+    assert scalar_results == [None] * len(values)
+    assert len(batch_env.index) == len(scalar_env.index) == len(values)
+    assert batch_env.index.index_bytes == scalar_env.index.index_bytes
+    for v in values:
+        key = encode_u64(v)
+        assert batch_env.index.lookup(key) is not None
+        assert scalar_env.index.lookup(key) is not None
+    if hasattr(batch_env.index, "stats"):
+        b, s = batch_env.index.stats(), scalar_env.index.stats()
+        assert (b.height, b.leaf_count, b.inner_nodes) == (
+            s.height,
+            s.leaf_count,
+            s.inner_nodes,
+        )
+        assert b.leaves_by_class == s.leaves_by_class
+
+
+def test_insert_many_duplicates_apply_in_input_order():
+    env = make_u64_environment("stx")
+    rng = random.Random(4)
+    values = _mint_values(rng, 50)
+    # Each key appears three times in one chunk, distinct tids.
+    pairs: List[Tuple[bytes, int]] = []
+    for v in values:
+        for _ in range(3):
+            pairs.append((encode_u64(v), env.table.insert_row(v)))
+    rng.shuffle(pairs)
+
+    mirror = make_u64_environment("stx")
+    order = sorted(range(len(pairs)), key=lambda i: pairs[i][0])
+    # Batch results align with input positions; build the expectation by
+    # replaying the stable-sorted run and scattering back.
+    expected: List[Optional[int]] = [None] * len(pairs)
+    for i in order:
+        k, t = pairs[i]
+        expected[i] = mirror.index.insert(k, t)
+    executor = BatchExecutor(env.index, max_batch=len(pairs))
+    assert executor.insert_many(pairs) == expected
+    last_tid = {}
+    for k, t in sorted(pairs, key=lambda p: p[0]):
+        last_tid[k] = t
+    for k, t in last_tid.items():
+        assert env.index.lookup(k) == t
+
+
+# ----------------------------------------------------------------------
+# Elastic: conversions fire mid-batch and state stays identical
+# ----------------------------------------------------------------------
+def test_elastic_conversions_fire_mid_batch():
+    n = 3000
+    bound = int(estimate_stx_bytes_per_key() * n * 0.45)
+    rng = random.Random(13)
+    values = _mint_values(rng, n)
+    chunk = 256
+
+    batch_env = make_u64_environment("elastic", size_bound_bytes=bound)
+    executor = BatchExecutor(batch_env.index, max_batch=chunk)
+    executor.insert_many(_pairs(batch_env, values))
+
+    scalar_env = make_u64_environment("elastic", size_bound_bytes=bound)
+    for k, t in _chunk_sorted_order(_pairs(scalar_env, values), chunk):
+        scalar_env.index.insert(k, t)
+
+    # The tight bound must have pushed the tree under pressure and
+    # converted leaves while batches were still in flight.
+    assert batch_env.index.pressure_state is not PressureState.NORMAL
+    b, s = batch_env.index.stats(), scalar_env.index.stats()
+    assert b.compact_leaf_count > 0
+    assert (b.item_count, b.compact_leaf_count, b.leaf_count) == (
+        s.item_count,
+        s.compact_leaf_count,
+        s.leaf_count,
+    )
+    assert batch_env.index.index_bytes == scalar_env.index.index_bytes
+    batch_env.index.check_elastic_invariants()
+
+    # Batched lookups over the converted tree agree with scalar ones.
+    queries = [encode_u64(rng.choice(values)) for _ in range(500)]
+    expected = [batch_env.index.lookup(k) for k in queries]
+    assert executor.get_many(queries) == expected
+    assert expected == [scalar_env.index.lookup(k) for k in queries]
+
+
+def test_elastic_expansion_splits_after_batched_lookups():
+    """Under EXPANDING pressure, batched lookups still give hot compact
+    leaves their expansion-split chance (deferred to batch end)."""
+    n = 2000
+    bound = int(estimate_stx_bytes_per_key() * n * 0.45)
+    env, values = _loaded_env("elastic", n, seed=3, size_bound_bytes=bound)
+    # Relax the budget so the controller wants to expand again.
+    env.index.controller.budget.soft_bound_bytes = bound * 40
+    assert env.index.controller.observe() is PressureState.EXPANDING
+    executor = BatchExecutor(env.index, max_batch=256)
+    rng = random.Random(17)
+    before = env.index.stats().compact_leaf_count
+    assert before > 0
+    for _ in range(40):
+        queries = [encode_u64(rng.choice(values)) for _ in range(256)]
+        executor.get_many(queries)
+        if env.index.stats().compact_leaf_count < before:
+            break
+    after = env.index.stats().compact_leaf_count
+    assert after < before
+    env.index.check_elastic_invariants()
+
+
+# ----------------------------------------------------------------------
+# Cost invariant: shared descents never charge more than scalar ones
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", NATIVE_BATCH)
+def test_batch_lookup_cost_never_exceeds_scalar(name):
+    env, values = _loaded_env(name, 1500)
+    rng = random.Random(23)
+    queries = [encode_u64(rng.choice(values)) for _ in range(512)]
+    with env.cost.measure() as delta:
+        expected = [env.index.lookup(k) for k in queries]
+    scalar_cost = delta.weighted_cost()
+    executor = BatchExecutor(env.index, max_batch=512)
+    with env.cost.measure() as delta:
+        got = executor.get_many(queries)
+    batch_cost = delta.weighted_cost()
+    assert got == expected
+    assert batch_cost <= scalar_cost * (1 + 1e-9), (batch_cost, scalar_cost)
+
+
+def test_batch_insert_cost_never_exceeds_scalar():
+    rng = random.Random(29)
+    values = _mint_values(rng, 2000)
+    chunk = 256
+
+    scalar_env = make_u64_environment("stx")
+    scalar_pairs = _chunk_sorted_order(_pairs(scalar_env, values), chunk)
+    with scalar_env.cost.measure() as delta:
+        for k, t in scalar_pairs:
+            scalar_env.index.insert(k, t)
+    scalar_cost = delta.weighted_cost()
+
+    batch_env = make_u64_environment("stx")
+    batch_pairs = _pairs(batch_env, values)
+    executor = BatchExecutor(batch_env.index, max_batch=chunk)
+    with batch_env.cost.measure() as delta:
+        executor.insert_many(batch_pairs)
+    batch_cost = delta.weighted_cost()
+    assert batch_cost <= scalar_cost * (1 + 1e-9), (batch_cost, scalar_cost)
+
+
+# ----------------------------------------------------------------------
+# Database layer
+# ----------------------------------------------------------------------
+def test_db_insert_many_get_many_roundtrip():
+    from repro.db.database import Database
+    from repro.table.table import RowSchema
+
+    def make_db():
+        db = Database()
+        t = db.create_table(
+            RowSchema(
+                "users",
+                ("id", "score"),
+                (8, 8),
+                ("u64", "u64"),
+            )
+        )
+        t.create_index("by_id", ["id"], kind="stx")
+        t.create_index(
+            "by_score", ["score"], kind="elastic", size_bound_bytes=1 << 22
+        )
+        return db, t
+
+    rng = random.Random(41)
+    rows = [(i, rng.getrandbits(32)) for i in range(300)]
+    rng.shuffle(rows)
+
+    db_batch, t_batch = make_db()
+    tids = t_batch.insert_many(rows)
+    assert len(tids) == len(rows)
+
+    db_scalar, t_scalar = make_db()
+    for row in rows:
+        t_scalar.insert(row)
+
+    probes = [[rid] for rid, _ in rows[:64]] + [[10**9 + 5]]
+    got = t_batch.get_many("by_id", probes)
+    want = [t_scalar.get("by_id", p) for p in probes]
+    assert got == want
+    assert got[-1] is None
+    # Layout differs (each index applies the batch in its own sorted
+    # order) but content must not: every row reachable in both.
+    for name in ("by_id", "by_score"):
+        assert len(t_batch.indexes[name].index) == len(rows)
+        assert len(t_scalar.indexes[name].index) == len(rows)
+
+    starts = [[rid] for rid, _ in rows[:16]]
+    assert t_batch.scan_many("by_id", starts, 5) == [
+        t_scalar.scan("by_id", s, 5) for s in starts
+    ]
