@@ -78,9 +78,9 @@ def main() -> None:
     # Every query path still works on the shrunken indexes.
     probe = rows[1234]
     assert elastic.get("by_time_object", (probe[0], probe[2])) == probe
-    history = elastic.scan("by_object_time", (probe[2], 0), 5)
+    history = elastic.scan("by_object_time", (probe[2], 0), count=5)
     print(f"object {probe[2]}: {len(history)} history rows via index scan")
-    biggest = elastic.scan("by_size_time", (1 << 22 - 1, 0), 3)
+    biggest = elastic.scan("by_size_time", (1 << 22 - 1, 0), count=3)
     print(f"large-object report: {[r[3] for r in biggest]} byte objects")
 
 

@@ -10,6 +10,15 @@ saving falls below the 30% acceptance floor.  Optionally smoke-runs the
 wall-clock microbenchmarks (one pass, timing disabled) to catch crashes
 there without gating on noisy timings.
 
+Observability guards: with instrumentation *disabled* (the default) the
+smoke cost metrics must match the committed baseline **exactly** at the
+baseline's stored precision — the zero-overhead guarantee of
+``repro.obs``; the smoke is then replayed with instrumentation
+*enabled*, which must capture events without changing a single cost
+unit.  A subprocess smoke also exercises the redesigned ``DBTable``
+read surface under ``-W error::DeprecationWarning`` to prove the new
+spellings are warning-free.
+
 Not part of the tier-1 test suite (pytest testpaths excludes scripts/);
 run it by hand or from CI:
 
@@ -76,6 +85,101 @@ def check(metrics: dict, baseline: dict) -> list:
     return failures
 
 
+def check_zero_overhead(metrics: dict, baseline: dict) -> list:
+    """Obs-disabled cost units must equal the baseline bit-for-bit.
+
+    The baseline stores metrics rounded to 4 decimals, so equality is
+    checked at that precision — any drift at all (not just beyond the
+    regression tolerance) fails, because a drift with observability
+    disabled means the instrumentation has leaked into the hot path.
+    """
+    from repro import obs
+
+    failures = []
+    if obs.is_enabled():
+        return ["observability unexpectedly enabled during the base run"]
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            continue  # reported by check() already
+        if round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_enabled_replay() -> list:
+    """Replay the smoke with observability on: same cost, events flow."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics = run_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    base_run_metrics = check_enabled_replay.base_metrics
+    for name, value in enabled_metrics.items():
+        if value != base_run_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_run_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    if len(observer.events) == 0:
+        failures.append(
+            "enabled-replay: no events captured — emission is wired wrong"
+        )
+    dispatch = observer.registry.get("repro_batch_dispatch_ops_total")
+    if dispatch is None or dispatch.total() == 0:
+        failures.append(
+            "enabled-replay: no batch dispatch metrics recorded"
+        )
+    if not failures:
+        print(
+            f"enabled-replay: cost identical; {len(observer.events)} "
+            f"events captured"
+        )
+    return failures
+
+
+def smoke_deprecation_free_db_surface() -> int:
+    """The new DBTable read surface must not trip DeprecationWarning."""
+    script = (
+        "from repro.db import Database\n"
+        "from repro.table.table import RowSchema\n"
+        "db = Database()\n"
+        "t = db.create_table(RowSchema('t', ('a', 'b'), (8, 8)))\n"
+        "t.create_index('by_a', ('a',))\n"
+        "t.insert_many([(i, i * 2) for i in range(200)])\n"
+        "assert t.get('by_a', (5,)) == (5, 10)\n"
+        "assert len(t.get_batch('by_a', [(i,) for i in range(8)])) == 8\n"
+        "assert len(t.scan('by_a', (0,), count=10)) == 10\n"
+        "keys = t.scan('by_a', (0,), count=4, include_rows=False)\n"
+        "assert len(keys) == 4 and isinstance(keys[0], bytes)\n"
+        "batches = t.scan_batch('by_a', [(0,), (50,)], count=3)\n"
+        "assert [len(b) for b in batches] == [3, 3]\n"
+        "snapshot = db.metrics_snapshot()\n"
+        "assert snapshot.startswith('# HELP')\n"
+        "print('db surface smoke ok')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.call(
+        [sys.executable, "-W", "error::DeprecationWarning", "-c", script],
+        env=env,
+        cwd=REPO,
+    )
+
+
 def smoke_wallclock() -> int:
     """One timing-disabled pass over the wall-clock microbenchmarks."""
     env = dict(os.environ)
@@ -133,10 +237,18 @@ def main() -> int:
     with open(BASELINE_PATH) as fh:
         baseline = json.load(fh)
     failures = check(metrics, baseline)
+    failures.extend(check_zero_overhead(metrics, baseline))
+    check_enabled_replay.base_metrics = metrics
+    failures.extend(check_enabled_replay())
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:
-        print("cost metrics within tolerance of baseline")
+        print("cost metrics within tolerance of baseline "
+              "(and bit-identical with observability disabled)")
+
+    print("\nDBTable read-surface smoke (-W error::DeprecationWarning):")
+    if smoke_deprecation_free_db_surface() != 0:
+        failures.append("DBTable read-surface deprecation smoke failed")
 
     if not args.skip_wallclock:
         print("\nwall-clock micro smoke pass (timing disabled):")

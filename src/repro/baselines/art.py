@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
+from repro.baselines.interface import OrderedIndex
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
 
 _TID_BYTES = 8
@@ -88,7 +89,7 @@ class _Inner:
 _Node = Union[_Leaf, _Inner]
 
 
-class ARTIndex:
+class ARTIndex(OrderedIndex):
     """Adaptive radix tree over fixed-width byte keys."""
 
     def __init__(

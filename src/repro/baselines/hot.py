@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.keys.bitops import first_diff_bit, get_bit
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+from repro.baselines.interface import OrderedIndex
 from repro.table.table import Table
 
 #: Binary trie levels absorbed per compound node (32-entry compounds).
@@ -57,7 +58,7 @@ class _PLeaf:
 _Child = Union[_PNode, _PLeaf]
 
 
-class HOTIndex:
+class HOTIndex(OrderedIndex):
     """Height-Optimized Trie with indirect key storage."""
 
     def __init__(

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.btree.tree import BPlusTree
 from repro.memory.allocator import TrackingAllocator
+from repro.baselines.interface import OrderedIndex
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
 
 _TID_BYTES = 8
@@ -55,7 +56,7 @@ class _StaticStage:
         return _STATIC_HEADER + len(self.keys) * (self.key_width + _TID_BYTES)
 
 
-class HybridIndex:
+class HybridIndex(OrderedIndex):
     """Two-stage hybrid index with merge-based compaction."""
 
     def __init__(

@@ -13,11 +13,15 @@ class OrderedIndex(Protocol):
     all-compact variants) and every baseline in this package, so that
     workload runners and benchmark drivers are index-agnostic.
 
-    Batching: indexes *may* additionally provide ``lookup_batch``,
-    ``insert_sorted_batch`` and ``scan_batch`` native fast paths (the
-    B+-tree family does); :class:`repro.exec.BatchExecutor` prefers them
-    and otherwise falls back to the sorted scalar loops below, so every
-    ``INDEX_BUILDERS`` name accepts batches.
+    Batching is part of the protocol: ``lookup_batch``,
+    ``insert_sorted_batch`` and ``scan_batch`` carry documented default
+    implementations (the sorted scalar loops below), so every conforming
+    index accepts batches.  The B+-tree family overrides them with
+    shared-descent fast paths; :class:`repro.exec.BatchExecutor` detects
+    an override by class identity (``type(index).lookup_batch is not
+    OrderedIndex.lookup_batch``) — no ``hasattr`` probing.  Baselines
+    without a fast path subclass this protocol explicitly to inherit the
+    defaults.
     """
 
     def insert(self, key: bytes, tid: int) -> Optional[int]:
@@ -44,14 +48,46 @@ class OrderedIndex(Protocol):
         """Simulated memory footprint of the index structure."""
         ...
 
+    # ------------------------------------------------------------------
+    # Batch surface (protocol defaults: sorted scalar loops)
+    # ------------------------------------------------------------------
+    def lookup_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+        """Point-query a batch; results align with the input order.
+
+        Default: the sorted scalar loop of
+        :func:`lookup_batch_fallback`.  Indexes with a shared-descent
+        fast path (the B+-tree family) override this.
+        """
+        return lookup_batch_fallback(self, keys)
+
+    def insert_sorted_batch(
+        self, pairs: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[int]]:
+        """Insert a batch of (key, tid) pairs in sorted-run order.
+
+        Returns the replaced tuple id per pair (input order); duplicate
+        keys within the batch apply in input order, exactly as a scalar
+        loop would.  Default: :func:`insert_batch_fallback`.
+        """
+        return insert_batch_fallback(self, pairs)
+
+    def scan_batch(
+        self, start_keys: Sequence[bytes], count: int
+    ) -> List[List[Tuple[bytes, int]]]:
+        """Run one ``count``-item scan per start key (input order).
+
+        Default: the sorted scalar loop of :func:`scan_batch_fallback`.
+        """
+        return scan_batch_fallback(self, start_keys, count)
+
 
 # ----------------------------------------------------------------------
 # Generic batch fallbacks (sorted scalar loops)
 # ----------------------------------------------------------------------
-# These give every OrderedIndex a batch surface.  Sorting the batch into
-# a run costs nothing under the cost model but matches the native fast
-# paths' semantics exactly (duplicate keys apply in input order), keeps
-# wall-clock cache behaviour reasonable, and makes the executor's
+# These back the protocol's default batch methods.  Sorting the batch
+# into a run costs nothing under the cost model but matches the native
+# fast paths' semantics exactly (duplicate keys apply in input order),
+# keeps wall-clock cache behaviour reasonable, and makes the executor's
 # contract uniform: a batch is always applied in sorted-run order.
 
 def lookup_batch_fallback(

@@ -13,6 +13,7 @@ from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.btree.tree import BPlusTree
 from repro.memory.allocator import TrackingAllocator
+from repro.baselines.interface import OrderedIndex
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
 
 _SLICE = 8
@@ -46,7 +47,7 @@ class _Layer:
 _Value = Union[_Direct, _Layer]
 
 
-class MasstreeIndex:
+class MasstreeIndex(OrderedIndex):
     """Layered B+-trees over 8-byte key slices."""
 
     def __init__(

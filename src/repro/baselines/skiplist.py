@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from repro.baselines.interface import OrderedIndex
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
 
 _NODE_HEADER_BYTES = 16  # allocation header + level count
@@ -29,7 +30,7 @@ class _Node:
         self.forward: List[Optional[_Node]] = [None] * level
 
 
-class SkipListIndex:
+class SkipListIndex(OrderedIndex):
     """Randomized skip list (p = 1/2) storing keys in its nodes."""
 
     def __init__(

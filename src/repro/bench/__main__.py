@@ -6,6 +6,8 @@ Usage::
     python -m repro.bench --experiment fig5 fig8    # a subset
     python -m repro.bench --experiment fig5 --full  # paper-closer sizes
     python -m repro.bench --outdir bench_results    # also save .txt files
+    python -m repro.bench --experiment fig5 --events --outdir bench_results
+                                  # + event logs / metrics / timelines
 
 Throughputs are in operations per simulated cost unit (see
 repro.memory.cost_model); shapes and ratios are the reproduction target,
@@ -22,14 +24,17 @@ from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig
 from repro.bench import latency, sec61, sec64
 
 
-def _experiments(full: bool):
+def _experiments(full: bool, events_dir=None):
     scale = 4 if full else 1
     return {
-        "fig1": lambda: fig1.run(),
-        "fig5": lambda: fig5.run(n_items=60_000 * scale),
+        "fig1": lambda: fig1.run(events_dir=events_dir),
+        "fig5": lambda: fig5.run(
+            n_items=60_000 * scale, events_dir=events_dir
+        ),
         "sec61": lambda: sec61.run(base_items=12_000 * scale),
         "fig6": lambda: fig6.run(
-            load_n=15_000 * scale, txn_n=30_000 * scale
+            load_n=15_000 * scale, txn_n=30_000 * scale,
+            events_dir=events_dir,
         ),
         "fig7": lambda: fig7.run(load_n=8_000 * scale, op_n=4_000 * scale),
         "fig8": lambda: fig8.run(rows_n=30_000 * scale),
@@ -82,8 +87,18 @@ def main() -> None:
         default=None,
         help="also write a combined markdown report to this path",
     )
+    parser.add_argument(
+        "--events",
+        action="store_true",
+        help="enable observability for the event-capable experiments "
+        "(fig1/fig5/fig6) and dump JSON-lines event logs, Prometheus "
+        "snapshots, and pressure timelines into the output directory",
+    )
     args = parser.parse_args()
-    experiments = _experiments(args.full)
+    events_dir = None
+    if args.events:
+        events_dir = args.outdir if args.outdir else "bench_results"
+    experiments = _experiments(args.full, events_dir=events_dir)
     names = (
         list(experiments) if args.experiment == ["all"] else args.experiment
     )

@@ -13,9 +13,11 @@ per index, at every chunk boundary.
 
 from __future__ import annotations
 
+import os
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.bench.harness import (
     ExperimentResult,
     IndexEnv,
@@ -44,8 +46,16 @@ def run(
     chunks: int = 10,
     indexes: Sequence[str] = DEFAULT_INDEXES,
     seed: int = 5,
+    events_dir: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run the grow/shrink protocol; one series per index per panel."""
+    """Run the grow/shrink protocol; one series per index per panel.
+
+    With ``events_dir`` set, the elastic index's run is instrumented:
+    its elasticity events, Prometheus metrics snapshot, and a pressure
+    timeline (one sample per chunk boundary plus every state
+    transition) are dumped into that directory as ``fig5_events.jsonl``
+    / ``fig5_metrics.prom`` / ``fig5_pressure_timeline.jsonl``.
+    """
     rng = random.Random(seed)
     values = rng.sample(range(1 << 56), n_items)
     delete_order = list(values)
@@ -74,6 +84,14 @@ def run(
         live: List[int] = []
         checkpoints_local: List[int] = []
 
+        observing = events_dir is not None and name == "elastic"
+        observer = timeline = None
+        was_enabled = obs.is_enabled()
+        if observing:
+            obs.set_enabled(True)
+            observer = obs.Observer()
+            timeline = obs.PressureTimeline(obs.BUS, label="fig5")
+
         def query_phase(panel_insert_or_remove: str, m_modify: Measurement):
             population = live if live else [0]
             lookup_keys = [
@@ -101,6 +119,11 @@ def run(
             panels[name]["scan"].append(m_scan.throughput)
             panels[name]["mem_mb"].append(index.index_bytes / 1e6)
             checkpoints_local.append(len(index))
+            if timeline is not None:
+                timeline.sample(
+                    len(index), index.index_bytes,
+                    index.pressure_state.value,
+                )
 
         rng2 = random.Random(seed ^ 0x77)
         # Insert phase.
@@ -130,6 +153,29 @@ def run(
             live_set.difference_update(batch)
             live = sorted(live_set)
             query_phase("remove", m)
+
+        if observing:
+            os.makedirs(events_dir, exist_ok=True)
+            timeline.dump(
+                os.path.join(events_dir, "fig5_pressure_timeline.jsonl")
+            )
+            observer.write_event_log(
+                os.path.join(events_dir, "fig5_events.jsonl")
+            )
+            with open(
+                os.path.join(events_dir, "fig5_metrics.prom"),
+                "w", encoding="utf-8",
+            ) as fh:
+                fh.write(observer.metrics_snapshot())
+            result.add_row(
+                "events[elastic]",
+                f"{len(observer.events)} captured "
+                f"({len(timeline.transitions)} pressure transitions) "
+                f"-> {events_dir}",
+            )
+            timeline.close()
+            observer.close()
+            obs.set_enabled(was_enabled)
 
         checkpoints = checkpoints_local
 

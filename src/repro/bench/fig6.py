@@ -9,9 +9,11 @@ from the paper's plots; the driver accepts any subset.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.bench.harness import (
     ExperimentResult,
     estimate_stx_bytes_per_key,
@@ -51,14 +53,25 @@ def run(
     scan_max: int = 100,
     seed: int = 6,
     batch_size: Optional[int] = None,
+    events_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """YCSB load throughput, txn throughput, and load-phase memory.
 
     With ``batch_size`` set, both phases execute through the batched
     mode (``YCSBRunner.load(batch_size=...)`` / ``run_batched``): same
     operation stream, amortized descents.
+
+    With ``events_dir`` set, observability is enabled for the whole
+    experiment and the captured elasticity/batch events and Prometheus
+    metrics snapshot are dumped into that directory as
+    ``fig6_events.jsonl`` / ``fig6_metrics.prom``.
     """
     bytes_per_key = estimate_stx_bytes_per_key()
+    observer = None
+    was_enabled = obs.is_enabled()
+    if events_dir is not None:
+        obs.set_enabled(True)
+        observer = obs.Observer()
     experiment_id = "fig6" if batch_size is None else f"fig6-batch{batch_size}"
     result = ExperimentResult(
         experiment_id,
@@ -128,4 +141,20 @@ def run(
                 f"memory[{name}] / memory[stx] (Figure 7a)",
                 f"{memory_after_load[name] / stx_mem:.3f}",
             )
+    if observer is not None:
+        os.makedirs(events_dir, exist_ok=True)
+        observer.write_event_log(
+            os.path.join(events_dir, f"{experiment_id}_events.jsonl")
+        )
+        with open(
+            os.path.join(events_dir, f"{experiment_id}_metrics.prom"),
+            "w", encoding="utf-8",
+        ) as fh:
+            fh.write(observer.metrics_snapshot())
+        result.add_row(
+            "events",
+            f"{len(observer.events)} captured -> {events_dir}",
+        )
+        observer.close()
+        obs.set_enabled(was_enabled)
     return result

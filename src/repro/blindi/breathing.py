@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.cost_model import CostModel
+from repro.obs import BreathingResizeEvent
 
 TID_BYTES = 8
 
@@ -59,20 +61,32 @@ class BreathingTidArray:
         if count_after_insert <= self.slots:
             return
         old_bytes = self.size_bytes
+        old_slots = self.slots
         self.slots = min(self.capacity, self.slots + self.slack)
         if self.slots < count_after_insert:
             self.slots = min(self.capacity, count_after_insert)
         self.allocator.resize(old_bytes, self.size_bytes, self.category)
         self.cost.copy_bytes((count_after_insert - 1) * TID_BYTES)
         self.cost.rand_lines(1)
+        if obs.is_enabled():
+            obs.emit(BreathingResizeEvent(
+                reason="grow", old_slots=old_slots, new_slots=self.slots,
+                capacity=self.capacity, count=count_after_insert,
+            ))
 
     def reset_capacity(self, capacity: int, count: int) -> None:
         """Re-base after a structural change (split/merge/conversion)."""
         old_bytes = self.size_bytes
+        old_slots = self.slots
         self.capacity = capacity
         self.slots = min(capacity, count + self.slack)
         self.allocator.resize(old_bytes, self.size_bytes, self.category)
         self.cost.copy_bytes(count * TID_BYTES)
+        if obs.is_enabled():
+            obs.emit(BreathingResizeEvent(
+                reason="rebase", old_slots=old_slots, new_slots=self.slots,
+                capacity=capacity, count=count,
+            ))
 
     def destroy(self) -> None:
         if self._alive:

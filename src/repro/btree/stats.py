@@ -26,7 +26,10 @@ class TreeStats:
     inner_nodes: int = 0
     leaf_count: int = 0
     compact_leaf_count: int = 0
-    #: Leaf count per (representation, capacity), e.g. ("seqtree", 128).
+    #: Leaf count per representation/capacity class.  Keys are the
+    #: ``"<representation>/<capacity>"`` strings of :func:`_leaf_class`
+    #: (leaf class name, lower-cased, without the ``Leaf`` suffix), e.g.
+    #: ``"compact/128"`` or ``"standard/16"``.
     leaves_by_class: Dict[str, int] = field(default_factory=dict)
     #: Sum of count/capacity over leaves, divided by leaf_count.
     avg_leaf_occupancy: float = 0.0

@@ -5,6 +5,7 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.btree.leaves import (
     LeafFullError,
     LeafNode,
@@ -14,6 +15,7 @@ from repro.btree.leaves import (
 )
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
+from repro.obs import BatchDescentEvent
 
 INNER_HEADER_BYTES = 24
 POINTER_BYTES = 8
@@ -278,6 +280,14 @@ class BPlusTree:
         order = sorted(range(len(keys)), key=keys.__getitem__)
         return order, [keys[i] for i in order]
 
+    @staticmethod
+    def _emit_batch_descent(op: str, batch_size: int, descents: int) -> None:
+        """Publish one :class:`~repro.obs.BatchDescentEvent` if enabled."""
+        if obs.is_enabled():
+            obs.emit(BatchDescentEvent(
+                op=op, batch_size=batch_size, descents=descents,
+            ))
+
     # ------------------------------------------------------------------
     # Point operations
     # ------------------------------------------------------------------
@@ -298,10 +308,12 @@ class BPlusTree:
         if not keys:
             return results
         order, run = self._sorted_run(keys)
-        for leaf, lo, hi in self._partition_descend(run):
+        groups = self._partition_descend(run)
+        for leaf, lo, hi in groups:
             hits = leaf.lookup_batch(run[lo:hi])
             for offset, tid in enumerate(hits):
                 results[order[lo + offset]] = tid
+        self._emit_batch_descent("lookup", len(keys), len(groups))
         return results
 
     def insert(self, key: bytes, tid: int) -> Optional[int]:
@@ -343,12 +355,14 @@ class BPlusTree:
         path: Path = []
         leaf: Optional[LeafNode] = None
         upper: Optional[bytes] = None
+        descents = 0
         for i in order:
             key, tid = pairs[i]
             if len(key) != self.key_width:
                 raise ValueError(f"key width {len(key)} != {self.key_width}")
             if leaf is None or (upper is not None and key >= upper):
                 path, leaf, upper = self._descend_bounded(key)
+                descents += 1
             try:
                 old = leaf.upsert(key, tid)
             except LeafFullError:
@@ -365,6 +379,7 @@ class BPlusTree:
                 self._count += 1
             else:
                 results[i] = old
+        self._emit_batch_descent("insert", len(pairs), descents)
         return results
 
     def _after_batch_structural_change(self) -> None:
@@ -412,11 +427,13 @@ class BPlusTree:
         if not start_keys:
             return results
         order, run = self._sorted_run(start_keys)
-        for leaf, lo, hi in self._partition_descend(run):
+        groups = self._partition_descend(run)
+        for leaf, lo, hi in groups:
             for offset in range(lo, hi):
                 results[order[offset]] = self._collect_scan(
                     leaf, run[offset], count
                 )
+        self._emit_batch_descent("scan", len(start_keys), len(groups))
         return results
 
     def _collect_scan(

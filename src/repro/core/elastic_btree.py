@@ -104,12 +104,14 @@ class ElasticBPlusTree(BPlusTree):
             return results
         order, run = self._sorted_run(keys)
         visited: List[Tuple[LeafNode, int]] = []
-        for leaf, lo, hi in self._partition_descend(run):
+        groups = self._partition_descend(run)
+        for leaf, lo, hi in groups:
             leaf.access_count += hi - lo
             hits = leaf.lookup_batch(run[lo:hi])
             for offset, tid in enumerate(hits):
                 results[order[lo + offset]] = tid
             visited.append((leaf, hi - lo))
+        self._emit_batch_descent("lookup", len(keys), len(groups))
         self._run_deferred_expansion(visited)
         self.controller.run_pending()
         return results
@@ -120,13 +122,15 @@ class ElasticBPlusTree(BPlusTree):
             return results
         order, run = self._sorted_run(start_keys)
         visited: List[Tuple[LeafNode, int]] = []
-        for leaf, lo, hi in self._partition_descend(run):
+        groups = self._partition_descend(run)
+        for leaf, lo, hi in groups:
             leaf.access_count += hi - lo
             for offset in range(lo, hi):
                 results[order[offset]] = self._collect_scan(
                     leaf, run[offset], count
                 )
             visited.append((leaf, hi - lo))
+        self._emit_batch_descent("scan", len(start_keys), len(groups))
         self._run_deferred_expansion(visited)
         self.controller.run_pending()
         return results

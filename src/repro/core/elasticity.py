@@ -22,12 +22,18 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, TYPE_CHECKING
 
+from repro import obs
 from repro.blindi.leaf import CompactLeaf
 from repro.btree.leaves import LeafNode
 from repro.btree.tree import BPlusTree, Path
 from repro.core.config import ElasticConfig
 from repro.core.policies import GrowShrinkPolicy, PaperPolicy
 from repro.memory.budget import MemoryBudget, PressureState
+from repro.obs import (
+    CapacityChangeEvent,
+    LeafConversionEvent,
+    PressureTransitionEvent,
+)
 from repro.table.table import Table
 
 
@@ -100,6 +106,13 @@ class ElasticityController:
             state = self.budget.state
         if state is not previous:
             self.stats.state_transitions += 1
+            if obs.is_enabled():
+                obs.emit(PressureTransitionEvent(
+                    previous=previous.value,
+                    state=state.value,
+                    index_bytes=self.tree.index_bytes,
+                    soft_bound_bytes=self.budget.soft_bound_bytes,
+                ))
             self.policy.on_state_change(self, state)
         return state
 
@@ -142,9 +155,11 @@ class ElasticityController:
         if action == "split":
             tree.split_leaf_and_insert(path, leaf, key, tid)
             return
+        promoted = isinstance(leaf, CompactLeaf)
+        old_capacity = leaf.capacity
         with tree.cost.measure() as delta, \
                 tree.cost.attributed_to("elastic.convert"):
-            if isinstance(leaf, CompactLeaf):
+            if promoted:
                 new_leaf = leaf.with_capacity(leaf.capacity * 2)
                 self.stats.capacity_promotions += 1
             else:
@@ -157,6 +172,22 @@ class ElasticityController:
                 self.stats.conversions_to_compact += 1
             tree.replace_leaf(path, leaf, new_leaf)
         self.stats.conversion_cost_units += delta.weighted_cost()
+        if obs.is_enabled():
+            if promoted:
+                obs.emit(CapacityChangeEvent(
+                    direction="double", trigger="overflow",
+                    node_id=new_leaf.node_id, old_capacity=old_capacity,
+                    new_capacity=new_leaf.capacity, count=new_leaf.count,
+                    index_bytes=tree.index_bytes,
+                    cost_units=delta.weighted_cost(),
+                ))
+            else:
+                obs.emit(LeafConversionEvent(
+                    direction="to_compact", trigger="overflow",
+                    node_id=new_leaf.node_id, capacity=new_leaf.capacity,
+                    count=new_leaf.count, index_bytes=tree.index_bytes,
+                    cost_units=delta.weighted_cost(),
+                ))
         new_leaf.upsert(key, tid)
 
     # ------------------------------------------------------------------
@@ -171,9 +202,11 @@ class ElasticityController:
             tree.rebalance_leaf(path, leaf)
             return
         half = leaf.capacity // 2
+        old_capacity = leaf.capacity
+        stepped_down = half > tree.leaf_capacity
         with tree.cost.measure() as delta, \
                 tree.cost.attributed_to("elastic.convert"):
-            if half > tree.leaf_capacity:
+            if stepped_down:
                 new_leaf: LeafNode = leaf.with_capacity(half)
                 self.stats.capacity_stepdowns += 1
             else:
@@ -184,6 +217,22 @@ class ElasticityController:
                 self.stats.reversions_to_standard += 1
             tree.replace_leaf(path, leaf, new_leaf)
         self.stats.conversion_cost_units += delta.weighted_cost()
+        if obs.is_enabled():
+            if stepped_down:
+                obs.emit(CapacityChangeEvent(
+                    direction="halve", trigger="underflow",
+                    node_id=new_leaf.node_id, old_capacity=old_capacity,
+                    new_capacity=half, count=new_leaf.count,
+                    index_bytes=tree.index_bytes,
+                    cost_units=delta.weighted_cost(),
+                ))
+            else:
+                obs.emit(LeafConversionEvent(
+                    direction="to_standard", trigger="underflow",
+                    node_id=new_leaf.node_id, capacity=tree.leaf_capacity,
+                    count=new_leaf.count, index_bytes=tree.index_bytes,
+                    cost_units=delta.weighted_cost(),
+                ))
         self.observe()
 
     # ------------------------------------------------------------------
@@ -207,8 +256,10 @@ class ElasticityController:
         tree = self.tree
         assert tree is not None
         half = leaf.capacity // 2
+        old_capacity = leaf.capacity
+        split_compact = half > tree.leaf_capacity
         with tree.cost.measure() as delta:
-            if half > tree.leaf_capacity:
+            if split_compact:
                 right_rep = leaf.rep.split()
                 left: LeafNode = self._make_compact(half, rep=leaf.rep)
                 right: LeafNode = self._make_compact(half, rep=right_rep)
@@ -223,6 +274,25 @@ class ElasticityController:
             tree.insert_separator(path, separator, right)
         self.stats.expansion_splits += 1
         self.stats.conversion_cost_units += delta.weighted_cost()
+        if obs.is_enabled():
+            index_bytes = tree.index_bytes
+            cost_units = delta.weighted_cost()
+            for node in (left, right):
+                if split_compact:
+                    obs.emit(CapacityChangeEvent(
+                        direction="halve", trigger="expansion",
+                        node_id=node.node_id, old_capacity=old_capacity,
+                        new_capacity=half, count=node.count,
+                        index_bytes=index_bytes,
+                        cost_units=cost_units / 2,
+                    ))
+                else:
+                    obs.emit(LeafConversionEvent(
+                        direction="to_standard", trigger="expansion",
+                        node_id=node.node_id, capacity=tree.leaf_capacity,
+                        count=node.count, index_bytes=index_bytes,
+                        cost_units=cost_units / 2,
+                    ))
         self.observe()
 
     # ------------------------------------------------------------------
@@ -278,6 +348,13 @@ class ElasticityController:
             tree.replace_leaf(path, leaf, new_leaf)
         self.stats.conversions_to_compact += 1
         self.stats.conversion_cost_units += delta.weighted_cost()
+        if obs.is_enabled():
+            obs.emit(LeafConversionEvent(
+                direction="to_compact", trigger="cold_sweep",
+                node_id=new_leaf.node_id, capacity=new_leaf.capacity,
+                count=new_leaf.count, index_bytes=tree.index_bytes,
+                cost_units=delta.weighted_cost(),
+            ))
 
     # ------------------------------------------------------------------
     # Bulk compaction (EagerCompactionPolicy / ablation)
@@ -299,9 +376,19 @@ class ElasticityController:
                 2 * tree.leaf_capacity, 1 << (node.count - 1).bit_length()
             )
             capacity = min(capacity, self.config.max_compact_capacity)
-            new_leaf = self._make_compact(capacity, items=list(zip(keys, tids)))
-            tree.replace_leaf(path, node, new_leaf)
+            with tree.cost.measure() as delta:
+                new_leaf = self._make_compact(
+                    capacity, items=list(zip(keys, tids))
+                )
+                tree.replace_leaf(path, node, new_leaf)
             converted += 1
+            if obs.is_enabled():
+                obs.emit(LeafConversionEvent(
+                    direction="to_compact", trigger="bulk",
+                    node_id=new_leaf.node_id, capacity=new_leaf.capacity,
+                    count=new_leaf.count, index_bytes=tree.index_bytes,
+                    cost_units=delta.weighted_cost(),
+                ))
         self.stats.conversions_to_compact += converted
         self.observe()
         return converted

@@ -25,7 +25,9 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.memory.budget import PressureState
+from repro.obs import PolicyActionEvent
 
 if TYPE_CHECKING:
     from repro.btree.leaves import LeafNode
@@ -101,6 +103,10 @@ class EagerCompactionPolicy(PaperPolicy):
             # overflow handler, where rewriting other leaves would
             # invalidate the in-flight insert's descent path.
             controller.pending_actions.append(controller.bulk_compact)
+            if obs.is_enabled():
+                obs.emit(PolicyActionEvent(
+                    policy="eager_compaction", action="bulk_compact",
+                ))
 
 
 class ColdFirstPolicy(PaperPolicy):
@@ -140,6 +146,10 @@ class ColdFirstPolicy(PaperPolicy):
         if self._sweep_queued:
             return
         self._sweep_queued = True
+        if obs.is_enabled():
+            obs.emit(PolicyActionEvent(
+                policy="cold_first", action="cold_sweep",
+            ))
 
         def sweep() -> None:
             self._sweep_queued = False

@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.harness import build_index
 from repro.exec import BatchExecutor
 from repro.keys.encoding import encode_f64, encode_i64, encode_str
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.cost_model import CostModel
+from repro.obs import Event, Observer
 from repro.table.table import RowSchema, Table
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"DBTable.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _encode_column(value, ctype: str, width: int) -> bytes:
@@ -208,27 +218,114 @@ class DBTable:
         return row
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (the keyword-consistent read surface)
     # ------------------------------------------------------------------
+    # One spelling per shape: ``get`` / ``get_batch`` for point queries,
+    # ``scan`` / ``scan_batch`` for ranges.  Scans take ``count`` as a
+    # keyword and ``include_rows=False`` turns a scan into an
+    # included-column query (section 2) answered from index keys alone.
+    # The pre-redesign spellings (``get_many`` / ``scan_many`` /
+    # ``included_scan`` / positional scan counts) remain as thin
+    # DeprecationWarning shims.
+
     def get(self, index_name: str, values: Sequence[int]) -> Optional[Tuple]:
         """Point query through an index; returns the row or None."""
         secondary = self.indexes[index_name]
-        tid = secondary.index.lookup(secondary.key_of_values(values))
-        if tid is None:
-            return None
-        return self.table.row(tid)
+        with self.db.trace_op(f"db.get[{index_name}]"):
+            tid = secondary.index.lookup(secondary.key_of_values(values))
+            if tid is None:
+                return None
+            return self.table.row(tid)
 
-    def get_many(
+    def get_batch(
         self, index_name: str, values_batch: Sequence[Sequence[int]]
     ) -> List[Optional[Tuple]]:
         """Batched point queries through one index; row or ``None`` per
         entry, aligned with the input order."""
         secondary = self.indexes[index_name]
-        keys = [secondary.key_of_values(values) for values in values_batch]
-        tids = secondary.executor.get_many(keys)
-        return [
-            self.table.row(tid) if tid is not None else None for tid in tids
-        ]
+        with self.db.trace_op(f"db.get_batch[{index_name}]"):
+            keys = [secondary.key_of_values(v) for v in values_batch]
+            tids = secondary.executor.get_many(keys)
+            return [
+                self.table.row(tid) if tid is not None else None
+                for tid in tids
+            ]
+
+    def scan(
+        self,
+        index_name: str,
+        start_values: Sequence[int],
+        *legacy_count,
+        count: Optional[int] = None,
+        include_rows: bool = True,
+    ) -> Union[List[Tuple], List[bytes]]:
+        """Range query from ``start_values`` in index order.
+
+        Returns ``count`` rows, or — with ``include_rows=False`` — the
+        index keys alone (an included-column query, section 2: no row
+        fetches on internal-key leaves).  ``count`` is keyword-only; the
+        old positional spelling still works but warns.
+        """
+        count = self._scan_count(legacy_count, count)
+        secondary = self.indexes[index_name]
+        with self.db.trace_op(f"db.scan[{index_name}]"):
+            start = secondary.key_of_values(start_values)
+            items = secondary.index.scan(start, count)
+            if not include_rows:
+                return [key for key, _ in items]
+            return [self.table.row(tid) for _, tid in items]
+
+    def scan_batch(
+        self,
+        index_name: str,
+        start_values_batch: Sequence[Sequence[int]],
+        *legacy_count,
+        count: Optional[int] = None,
+        include_rows: bool = True,
+    ) -> Union[List[List[Tuple]], List[List[bytes]]]:
+        """Batched range queries: ``count`` results per start key.
+
+        Result lists align with the input order; ``include_rows=False``
+        returns index keys instead of rows, as in :meth:`scan`.
+        """
+        count = self._scan_count(legacy_count, count)
+        secondary = self.indexes[index_name]
+        with self.db.trace_op(f"db.scan_batch[{index_name}]"):
+            starts = [secondary.key_of_values(v) for v in start_values_batch]
+            batches = secondary.executor.range_many(starts, count)
+            if not include_rows:
+                return [[key for key, _ in items] for items in batches]
+            return [
+                [self.table.row(tid) for _, tid in items]
+                for items in batches
+            ]
+
+    @staticmethod
+    def _scan_count(legacy_count: tuple, count: Optional[int]) -> int:
+        """Resolve keyword ``count`` vs. the deprecated positional form."""
+        if legacy_count:
+            if len(legacy_count) > 1 or count is not None:
+                raise TypeError("scan takes a single count, as a keyword")
+            warnings.warn(
+                "passing the scan count positionally is deprecated; "
+                "use count=<n>",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return legacy_count[0]
+        if count is None:
+            raise TypeError("scan requires count=<n>")
+        return count
+
+    # ------------------------------------------------------------------
+    # Deprecated read spellings (pre-redesign surface)
+    # ------------------------------------------------------------------
+    def get_many(
+        self, index_name: str, values_batch: Sequence[Sequence[int]]
+    ) -> List[Optional[Tuple]]:
+        """Deprecated alias of :meth:`get_batch`."""
+        _deprecated("get_many", "get_batch")
+        return self.get_batch(index_name, values_batch)
 
     def scan_many(
         self,
@@ -236,33 +333,18 @@ class DBTable:
         start_values_batch: Sequence[Sequence[int]],
         count: int,
     ) -> List[List[Tuple]]:
-        """Batched range queries: ``count`` rows per start, index order."""
-        secondary = self.indexes[index_name]
-        starts = [secondary.key_of_values(v) for v in start_values_batch]
-        return [
-            [self.table.row(tid) for _, tid in items]
-            for items in secondary.executor.range_many(starts, count)
-        ]
-
-    def scan(
-        self, index_name: str, start_values: Sequence[int], count: int
-    ) -> List[Tuple]:
-        """Range query: ``count`` rows from ``start_values`` in index order."""
-        secondary = self.indexes[index_name]
-        start = secondary.key_of_values(start_values)
-        return [
-            self.table.row(tid)
-            for _, tid in secondary.index.scan(start, count)
-        ]
+        """Deprecated alias of :meth:`scan_batch` (positional count)."""
+        _deprecated("scan_many", "scan_batch")
+        return self.scan_batch(index_name, start_values_batch, count=count)
 
     def included_scan(
         self, index_name: str, start_values: Sequence[int], count: int
     ) -> List[bytes]:
-        """Included-column query (section 2): answered from index keys
-        alone — no row fetches on internal-key leaves."""
-        secondary = self.indexes[index_name]
-        start = secondary.key_of_values(start_values)
-        return [key for key, _ in secondary.index.scan(start, count)]
+        """Deprecated alias of :meth:`scan` with ``include_rows=False``."""
+        _deprecated("included_scan", "scan(..., include_rows=False)")
+        return self.scan(
+            index_name, start_values, count=count, include_rows=False
+        )
 
     def __len__(self) -> int:
         return len(self.table)
@@ -287,12 +369,22 @@ class DBTable:
 
 
 class Database:
-    """A set of tables sharing one cost account and allocator."""
+    """A set of tables sharing one cost account and allocator.
+
+    Every database owns an :class:`~repro.obs.Observer` subscribed to
+    the global event bus: with observability enabled
+    (``repro.obs.set_enabled(True)``) elasticity and batch events are
+    folded into its metrics registry and bounded event log, surfaced via
+    :meth:`metrics_snapshot` / :meth:`event_log`.  With it disabled (the
+    default) no events are published, so the observer stays empty and
+    the hot paths are untouched.
+    """
 
     def __init__(self, cost_model: Optional[CostModel] = None) -> None:
         self.cost = cost_model if cost_model is not None else CostModel()
         self.allocator = TrackingAllocator(cost_model=self.cost)
         self.tables: Dict[str, DBTable] = {}
+        self.observer = Observer()
 
     def create_table(self, schema: RowSchema) -> DBTable:
         if schema.name in self.tables:
@@ -300,6 +392,25 @@ class Database:
         table = DBTable(self, schema)
         self.tables[schema.name] = table
         return table
+
+    # ------------------------------------------------------------------
+    # Observability surface
+    # ------------------------------------------------------------------
+    def trace_op(self, op: str):
+        """Cost-attributed span over one operation (no-op when obs off)."""
+        return self.observer.tracer.trace_op(self.cost, op)
+
+    def metrics_snapshot(self) -> str:
+        """Prometheus exposition text of the observer's registry."""
+        return self.observer.metrics_snapshot()
+
+    def event_log(self, kind: Optional[str] = None) -> List[Event]:
+        """Events retained by the observer, oldest first."""
+        return self.observer.event_log(kind)
+
+    def write_event_log(self, path) -> int:
+        """Dump the observer's events as JSON-lines; returns line count."""
+        return self.observer.write_event_log(path)
 
     @staticmethod
     def split_budget(total_bytes: int, shares: Sequence[float]) -> List[int]:

@@ -11,23 +11,23 @@ dependent-load rate.  The BS-tree demonstrates the descent-sharing
 economy for batched B+-tree operations; the Cuckoo Trie demonstrates
 the MLP economy for independent key loads.
 
-The executor prefers an index's native batch surface
-(``lookup_batch`` / ``insert_sorted_batch`` / ``scan_batch``, provided
-by the B+-tree family including the elastic tree) and falls back to the
-sorted scalar loops of :mod:`repro.baselines.interface` otherwise, so
-every benchmark index name accepts batches.
+Dispatch goes through the :class:`~repro.baselines.interface.
+OrderedIndex` protocol: ``lookup_batch`` / ``insert_sorted_batch`` /
+``scan_batch`` are protocol members with sorted-scalar-loop defaults, so
+the executor always calls the index's method and never probes with
+``hasattr``.  Whether an index *overrides* a default with a native
+shared-descent fast path is detected once, by class identity, for the
+native/fallback accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.interface import (
-    insert_batch_fallback,
-    lookup_batch_fallback,
-    scan_batch_fallback,
-)
+from repro import obs
+from repro.baselines.interface import OrderedIndex
+from repro.obs import BatchDispatchEvent
 
 
 @dataclass
@@ -50,6 +50,17 @@ class BatchStats:
         self.by_kind[kind] = self.by_kind.get(kind, 0) + ops
 
 
+def _overrides_protocol_default(index, method_name: str) -> bool:
+    """Whether ``index``'s class overrides the protocol's default method.
+
+    Class-identity comparison against the default on ``OrderedIndex``:
+    an index whose class (or a base) defines its own implementation is
+    native; one inheriting the protocol default is on the fallback path.
+    """
+    default = getattr(OrderedIndex, method_name)
+    return getattr(type(index), method_name, default) is not default
+
+
 class BatchExecutor:
     """Executes operation batches against one ordered index.
 
@@ -66,30 +77,35 @@ class BatchExecutor:
         self.index = index
         self.max_batch = max_batch
         self.stats = BatchStats()
-        self._lookup_native = getattr(index, "lookup_batch", None)
-        self._insert_native = getattr(index, "insert_sorted_batch", None)
-        self._scan_native = getattr(index, "scan_batch", None)
+        self._native: Dict[str, bool] = {
+            "get": _overrides_protocol_default(index, "lookup_batch"),
+            "insert": _overrides_protocol_default(index, "insert_sorted_batch"),
+            "scan": _overrides_protocol_default(index, "scan_batch"),
+        }
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def native(self) -> bool:
-        """Whether the index provides the native batch fast paths."""
-        return self._lookup_native is not None
+        """Whether the index overrides the protocol's batch defaults."""
+        return self._native["get"]
 
     # ------------------------------------------------------------------
     # Batch operations
     # ------------------------------------------------------------------
+    def _record(self, kind: str, ops: int) -> None:
+        native = self._native[kind]
+        self.stats.record(kind, ops, native)
+        if obs.is_enabled():
+            obs.emit(BatchDispatchEvent(op=kind, ops=ops, native=native))
+
     def get_many(self, keys: Sequence[bytes]) -> List[Optional[int]]:
         """Point-query a batch; results align with the input order."""
         out: List[Optional[int]] = []
         for chunk in self._chunks(keys):
-            self.stats.record("get", len(chunk), self._lookup_native is not None)
-            if self._lookup_native is not None:
-                out.extend(self._lookup_native(chunk))
-            else:
-                out.extend(lookup_batch_fallback(self.index, chunk))
+            self._record("get", len(chunk))
+            out.extend(self.index.lookup_batch(chunk))
         return out
 
     def insert_many(
@@ -103,13 +119,8 @@ class BatchExecutor:
         """
         out: List[Optional[int]] = []
         for chunk in self._chunks(pairs):
-            self.stats.record(
-                "insert", len(chunk), self._insert_native is not None
-            )
-            if self._insert_native is not None:
-                out.extend(self._insert_native(chunk))
-            else:
-                out.extend(insert_batch_fallback(self.index, chunk))
+            self._record("insert", len(chunk))
+            out.extend(self.index.insert_sorted_batch(chunk))
         return out
 
     def range_many(
@@ -118,11 +129,8 @@ class BatchExecutor:
         """Run one ``count``-item scan per start key."""
         out: List[List[Tuple[bytes, int]]] = []
         for chunk in self._chunks(start_keys):
-            self.stats.record("scan", len(chunk), self._scan_native is not None)
-            if self._scan_native is not None:
-                out.extend(self._scan_native(chunk, count))
-            else:
-                out.extend(scan_batch_fallback(self.index, chunk, count))
+            self._record("scan", len(chunk))
+            out.extend(self.index.scan_batch(chunk, count))
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,10 @@
+"""Module-level observability switch.
+
+Kept in its own module so hot-path emit sites can read one attribute
+(``_state.enabled``) without importing the full :mod:`repro.obs`
+surface, and so :mod:`repro.obs.tracing` can consult the flag without a
+circular import.  Mutate only through :func:`repro.obs.set_enabled`.
+"""
+
+#: Off by default: instrumented sites skip event construction entirely.
+enabled = False

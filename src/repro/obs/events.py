@@ -1,0 +1,211 @@
+"""Elasticity event bus and typed events.
+
+The paper's contribution is *dynamic* behaviour — leaves converting
+between representations under pressure, capacities doubling and halving,
+tuple-id arrays breathing — and ``collect_stats()`` can only show the
+aggregate outcome.  The event bus makes each individual transition
+observable: instrumented components publish a typed event at the moment
+an elasticity action lands, and subscribers (metric registries, event
+logs, pressure-timeline recorders) consume them.
+
+Determinism: events carry **no wall-clock timestamps**.  Ordering is a
+monotonically increasing per-bus sequence number assigned at publish
+time, and every quantitative field is either a structural fact (node id,
+capacity, byte counts from the tracking allocator) or a cost-model
+figure — so two runs of the same seeded workload produce byte-identical
+event streams.
+
+Emission is gated by the module-level flag in :mod:`repro.obs`; when the
+flag is off, emitting sites skip event construction entirely, so the hot
+path neither charges cost-model units nor allocates.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import asdict, dataclass, field
+from typing import Callable, ClassVar, Dict, List, Optional
+
+
+@dataclass
+class Event:
+    """Base class for bus events.
+
+    ``kind`` is a class-level tag used for filtering and serialization;
+    ``seq`` is assigned by the bus at publish time (0 = unpublished).
+    """
+
+    kind: ClassVar[str] = "event"
+    seq: int = field(default=0, init=False)
+
+    def as_dict(self) -> Dict:
+        """Serializable view: all fields plus the ``kind`` tag."""
+        payload = {"kind": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+
+@dataclass
+class LeafConversionEvent(Event):
+    """A leaf changed representation (compact <-> standard).
+
+    ``direction`` is ``"to_compact"`` or ``"to_standard"``; ``trigger``
+    names the elasticity mechanism that fired: ``"overflow"`` (shrink by
+    converting instead of splitting), ``"underflow"`` (revert at the
+    bottom of the capacity ladder), ``"expansion"`` (random split of a
+    popular compact leaf back to standard leaves), ``"cold_sweep"``
+    (ColdFirstPolicy CLOCK hand) or ``"bulk"`` (EagerCompactionPolicy
+    wholesale compaction).
+    """
+
+    kind: ClassVar[str] = "leaf_conversion"
+    direction: str = ""
+    trigger: str = ""
+    node_id: int = 0
+    capacity: int = 0
+    count: int = 0
+    index_bytes: int = 0
+    cost_units: float = 0.0
+
+
+@dataclass
+class CapacityChangeEvent(Event):
+    """A compact leaf moved along the capacity ladder (section 4).
+
+    ``direction`` is ``"double"`` (overflow promotion) or ``"halve"``
+    (underflow step-down, or an expansion split into two half-capacity
+    nodes); ``trigger`` follows :class:`LeafConversionEvent`.
+    """
+
+    kind: ClassVar[str] = "capacity_change"
+    direction: str = ""
+    trigger: str = ""
+    node_id: int = 0
+    old_capacity: int = 0
+    new_capacity: int = 0
+    count: int = 0
+    index_bytes: int = 0
+    cost_units: float = 0.0
+
+
+@dataclass
+class BreathingResizeEvent(Event):
+    """A breathing tuple-id array was reallocated (section 5.4).
+
+    ``reason`` is ``"grow"`` (insertions exhausted the slack) or
+    ``"rebase"`` (structural change re-based the array).
+    """
+
+    kind: ClassVar[str] = "breathing_resize"
+    reason: str = ""
+    old_slots: int = 0
+    new_slots: int = 0
+    capacity: int = 0
+    count: int = 0
+
+
+@dataclass
+class PressureTransitionEvent(Event):
+    """The elasticity controller changed pressure state (section 4)."""
+
+    kind: ClassVar[str] = "pressure_transition"
+    previous: str = ""
+    state: str = ""
+    index_bytes: int = 0
+    soft_bound_bytes: int = 0
+
+
+@dataclass
+class BatchDescentEvent(Event):
+    """One shared-descent batch executed by a B+-tree family index.
+
+    ``descents`` is the number of distinct root-to-leaf descents the
+    batch paid for (leaf groups for lookups/scans, fresh bounded
+    descents for inserts) — the quantity the descent-sharing economy
+    amortizes versus ``batch_size`` scalar descents.
+    """
+
+    kind: ClassVar[str] = "batch_descent"
+    op: str = ""
+    batch_size: int = 0
+    descents: int = 0
+
+
+@dataclass
+class BatchDispatchEvent(Event):
+    """The :class:`~repro.exec.BatchExecutor` dispatched one chunk.
+
+    ``native`` records whether the index overrides the protocol's batch
+    defaults with a shared-descent fast path.
+    """
+
+    kind: ClassVar[str] = "batch_dispatch"
+    op: str = ""
+    ops: int = 0
+    native: bool = False
+
+
+@dataclass
+class PolicyActionEvent(Event):
+    """A grow/shrink policy queued deferred work (sweep, bulk compact)."""
+
+    kind: ClassVar[str] = "policy_action"
+    policy: str = ""
+    action: str = ""
+
+
+class EventBus:
+    """A tiny synchronous publish/subscribe hub.
+
+    Subscribers are called in subscription order with the published
+    event.  Bound-method subscribers are held through weak references so
+    that short-lived observers (per-test, per-benchmark) do not leak:
+    once the owning object is collected, the subscription is pruned at
+    the next publish.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Callable] = []
+        self._seq = 0
+
+    def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe function."""
+        try:
+            ref: Callable = weakref.WeakMethod(callback)
+        except TypeError:
+            # Plain callables and builtin methods (e.g. ``list.append``)
+            # are not weak-referenceable; hold them strongly.
+            ref = lambda cb=callback: cb  # uniform call shape
+        self._subscribers.append(ref)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(ref)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> Event:
+        """Assign the event its sequence number and fan it out."""
+        self._seq += 1
+        event.seq = self._seq
+        dead: List[Callable] = []
+        for ref in self._subscribers:
+            callback = ref()
+            if callback is None:
+                dead.append(ref)
+            else:
+                callback(event)
+        for ref in dead:
+            self._subscribers.remove(ref)
+        return event
+
+    @property
+    def subscriber_count(self) -> int:
+        return sum(1 for ref in self._subscribers if ref() is not None)
+
+    def reset(self) -> None:
+        """Drop all subscribers and restart the sequence counter."""
+        self._subscribers.clear()
+        self._seq = 0

@@ -1,0 +1,168 @@
+"""Observer: turns bus events into metrics and a bounded event log.
+
+One ``Observer`` subscribes to an :class:`~repro.obs.events.EventBus`
+(the global :data:`repro.obs.BUS` by default), folds every event into a
+pre-registered :class:`~repro.obs.metrics.MetricsRegistry`, and retains
+the raw events in a bounded deque for JSON-lines export.  A
+:class:`~repro.obs.tracing.Tracer` rides along for cost-attributed
+spans.
+
+The subscription is a bound method held weakly by the bus, so observers
+created per test or per benchmark do not accumulate on the global bus
+once dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.obs.events import (
+    BatchDescentEvent,
+    BatchDispatchEvent,
+    BreathingResizeEvent,
+    CapacityChangeEvent,
+    Event,
+    EventBus,
+    LeafConversionEvent,
+    PolicyActionEvent,
+    PressureTransitionEvent,
+)
+from repro.obs.exporters import write_event_log
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: Retained-event ceiling; pressure transitions are rare but leaf
+#: conversions are per-leaf, so long runs need headroom.
+DEFAULT_MAX_EVENTS = 65536
+
+
+class Observer:
+    """Aggregates bus events into metrics plus a bounded event log."""
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        trace_capacity: int = 256,
+    ) -> None:
+        if bus is None:
+            from repro import obs
+
+            bus = obs.BUS
+        self.bus = bus
+        self.events: Deque[Event] = deque(maxlen=max_events)
+        self.dropped_events = 0
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(capacity=trace_capacity)
+        self._register_instruments()
+        self._unsubscribe = bus.subscribe(self._on_event)
+
+    def _register_instruments(self) -> None:
+        reg = self.registry
+        self._leaf_conversions = reg.counter(
+            "repro_leaf_conversions_total",
+            "Leaf representation conversions by direction and trigger.",
+        )
+        self._capacity_changes = reg.counter(
+            "repro_capacity_changes_total",
+            "Compact-leaf capacity ladder moves by direction and trigger.",
+        )
+        self._pressure_transitions = reg.counter(
+            "repro_pressure_transitions_total",
+            "Pressure-state transitions by destination state.",
+        )
+        self._breathing_resizes = reg.counter(
+            "repro_breathing_resizes_total",
+            "Breathing tuple-id array reallocations by reason.",
+        )
+        self._policy_actions = reg.counter(
+            "repro_policy_actions_total",
+            "Deferred work queued by grow/shrink policies.",
+        )
+        self._batch_dispatch = reg.counter(
+            "repro_batch_dispatch_ops_total",
+            "Operations dispatched by BatchExecutor, by op and path.",
+        )
+        self._batch_batches = reg.counter(
+            "repro_batch_batches_total",
+            "Shared-descent batches executed by op.",
+        )
+        self._batch_descents = reg.counter(
+            "repro_batch_descents_total",
+            "Distinct root-to-leaf descents paid by shared-descent batches.",
+        )
+        self._batch_ops = reg.counter(
+            "repro_batch_batched_ops_total",
+            "Operations carried by shared-descent batches, by op.",
+        )
+        self._index_bytes = reg.gauge(
+            "repro_index_bytes",
+            "Live index bytes as of the most recent elasticity event.",
+        )
+        self._conversion_cost = reg.histogram(
+            "repro_conversion_cost_units",
+            "Weighted cost-model units per conversion/capacity event.",
+        )
+
+    def _on_event(self, event: Event) -> None:
+        if len(self.events) == self.events.maxlen:
+            self.dropped_events += 1
+        self.events.append(event)
+        if isinstance(event, LeafConversionEvent):
+            self._leaf_conversions.inc(
+                direction=event.direction, trigger=event.trigger
+            )
+            self._index_bytes.set(event.index_bytes)
+            self._conversion_cost.observe(
+                event.cost_units, kind="conversion", direction=event.direction
+            )
+        elif isinstance(event, CapacityChangeEvent):
+            self._capacity_changes.inc(
+                direction=event.direction, trigger=event.trigger
+            )
+            self._index_bytes.set(event.index_bytes)
+            self._conversion_cost.observe(
+                event.cost_units, kind="capacity", direction=event.direction
+            )
+        elif isinstance(event, PressureTransitionEvent):
+            self._pressure_transitions.inc(to=event.state)
+            self._index_bytes.set(event.index_bytes)
+        elif isinstance(event, BreathingResizeEvent):
+            self._breathing_resizes.inc(reason=event.reason)
+        elif isinstance(event, PolicyActionEvent):
+            self._policy_actions.inc(policy=event.policy, action=event.action)
+        elif isinstance(event, BatchDispatchEvent):
+            self._batch_dispatch.inc(
+                event.ops,
+                op=event.op,
+                path="native" if event.native else "fallback",
+            )
+        elif isinstance(event, BatchDescentEvent):
+            self._batch_batches.inc(op=event.op)
+            self._batch_descents.inc(event.descents, op=event.op)
+            self._batch_ops.inc(event.batch_size, op=event.op)
+
+    def metrics_snapshot(self) -> str:
+        """Prometheus exposition text for every registered instrument."""
+        return self.registry.render_prometheus()
+
+    def event_log(self, kind: Optional[str] = None) -> List[Event]:
+        """Retained events, oldest first; optionally filtered by kind."""
+        if kind is None:
+            return list(self.events)
+        return [e for e in self.events if e.kind == kind]
+
+    def write_event_log(self, path) -> int:
+        """Dump retained events as JSON-lines; returns lines written."""
+        return write_event_log(self.events, path)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped_events = 0
+
+    def close(self) -> None:
+        """Detach from the bus (idempotent); retained data stays readable."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None

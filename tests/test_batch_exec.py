@@ -310,7 +310,7 @@ def test_db_insert_many_get_many_roundtrip():
         t_scalar.insert(row)
 
     probes = [[rid] for rid, _ in rows[:64]] + [[10**9 + 5]]
-    got = t_batch.get_many("by_id", probes)
+    got = t_batch.get_batch("by_id", probes)
     want = [t_scalar.get("by_id", p) for p in probes]
     assert got == want
     assert got[-1] is None
@@ -321,6 +321,6 @@ def test_db_insert_many_get_many_roundtrip():
         assert len(t_scalar.indexes[name].index) == len(rows)
 
     starts = [[rid] for rid, _ in rows[:16]]
-    assert t_batch.scan_many("by_id", starts, 5) == [
-        t_scalar.scan("by_id", s, 5) for s in starts
+    assert t_batch.scan_batch("by_id", starts, count=5) == [
+        t_scalar.scan("by_id", s, count=5) for s in starts
     ]

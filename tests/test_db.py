@@ -102,7 +102,7 @@ class TestCRUDThroughIndexes:
         rows = log_rows(300)
         for row in rows:
             table.insert(row)
-        out = table.scan("by_size_ts", (0, 0), 50)
+        out = table.scan("by_size_ts", (0, 0), count=50)
         sizes = [(r[3], r[0]) for r in out]
         assert sizes == sorted(sizes)
         assert len(out) == 50
@@ -113,7 +113,7 @@ class TestCRUDThroughIndexes:
         rows = log_rows(50)
         for row in rows:
             table.insert(row)
-        keys = table.included_scan("by_ts", (0,), 10)
+        keys = table.scan("by_ts", (0,), count=10, include_rows=False)
         expected = sorted(idx.key_of_values((r[0],)) for r in rows)[:10]
         assert keys == expected
 
@@ -142,7 +142,7 @@ class TestTypedColumns:
         ]
         for row in rows:
             table.insert(row)
-        out = table.scan("by_reading", (float("-inf"),), 10)
+        out = table.scan("by_reading", (float("-inf"),), count=10)
         assert [r[1] for r in out] == [-5.5, -0.25, 0.0, 2.5, 1e10]
         assert table.get("by_reading", (-0.25,)) == rows[1]
 
@@ -152,7 +152,7 @@ class TestTypedColumns:
         table.create_index("by_delta", ("delta", "sensor"))
         for i, delta in enumerate((-100, -1, 0, 7, 99)):
             table.insert((i, 0.0, delta, "x"))
-        out = table.scan("by_delta", (-(1 << 63), 0), 10)
+        out = table.scan("by_delta", (-(1 << 63), 0), count=10)
         assert [r[2] for r in out] == [-100, -1, 0, 7, 99]
 
     def test_string_index(self):
@@ -161,7 +161,7 @@ class TestTypedColumns:
         table.create_index("by_label", ("label",))
         for i, label in enumerate(("pear", "apple", "mango")):
             table.insert((i, 0.0, 0, label))
-        out = table.scan("by_label", ("",), 10)
+        out = table.scan("by_label", ("",), count=10)
         assert [r[3] for r in out] == ["apple", "mango", "pear"]
         assert table.get("by_label", ("mango",)) == (2, 0.0, 0, "mango")
 
@@ -225,3 +225,62 @@ class TestMemoryAndElasticity:
         for row in log_rows(4000):
             table.insert(row)
         assert idx.index.pressure_state is PressureState.SHRINKING
+
+
+class TestDeprecatedSpellings:
+    """The pre-redesign read surface still works, but warns."""
+
+    def make_filled(self):
+        _, table = make_log_table()
+        table.create_index("by_ts", ("timestamp",))
+        self.rows = sorted(log_rows(100))
+        for row in self.rows:
+            table.insert(row)
+        return table
+
+    def test_get_many_warns_and_delegates(self):
+        table = self.make_filled()
+        probes = [(r[0],) for r in self.rows[:5]]
+        with pytest.warns(DeprecationWarning, match="get_many is deprecated"):
+            out = table.get_many("by_ts", probes)
+        assert out == table.get_batch("by_ts", probes)
+
+    def test_scan_many_warns_and_delegates(self):
+        table = self.make_filled()
+        starts = [(self.rows[0][0],), (self.rows[40][0],)]
+        with pytest.warns(DeprecationWarning, match="scan_many is deprecated"):
+            out = table.scan_many("by_ts", starts, 5)
+        assert out == table.scan_batch("by_ts", starts, count=5)
+
+    def test_included_scan_warns_and_delegates(self):
+        table = self.make_filled()
+        with pytest.warns(
+            DeprecationWarning, match="included_scan is deprecated"
+        ):
+            out = table.included_scan("by_ts", (0,), 5)
+        assert out == table.scan("by_ts", (0,), count=5, include_rows=False)
+
+    def test_positional_scan_count_warns(self):
+        table = self.make_filled()
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            out = table.scan("by_ts", (0,), 5)
+        assert out == table.scan("by_ts", (0,), count=5)
+
+    def test_scan_count_required_and_unambiguous(self):
+        table = self.make_filled()
+        with pytest.raises(TypeError):
+            table.scan("by_ts", (0,))
+        with pytest.raises(TypeError):
+            table.scan("by_ts", (0,), 5, count=5)
+
+    def test_new_surface_is_warning_free(self):
+        import warnings
+
+        table = self.make_filled()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            table.get("by_ts", (self.rows[0][0],))
+            table.get_batch("by_ts", [(self.rows[0][0],)])
+            table.scan("by_ts", (0,), count=5)
+            table.scan("by_ts", (0,), count=5, include_rows=False)
+            table.scan_batch("by_ts", [(0,)], count=5)

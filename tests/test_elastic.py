@@ -275,3 +275,25 @@ def test_elastic_matches_model_through_pressure_cycle(seed):
             assert tree.lookup(key) == model.lookup(key)
     assert [k for k, _ in tree.items()] == model.keys
     tree.check_elastic_invariants()
+
+
+def test_leaves_by_class_key_shape():
+    """Regression: ``leaves_by_class`` keys are the documented
+    ``"<representation>/<capacity>"`` strings — lower-cased leaf class
+    name without the ``Leaf`` suffix — and the census adds up."""
+    source = U64Source()
+    tree = make_elastic(source, size_bound=40_000)
+    fill(tree, source, 5000)
+    stats = collect_stats(tree)
+    assert stats.leaves_by_class
+    for leaf_class, count in stats.leaves_by_class.items():
+        name, capacity = leaf_class.split("/")
+        assert name in ("compact", "standard")
+        assert int(capacity) > 0
+        assert count > 0
+    assert sum(stats.leaves_by_class.values()) == stats.leaf_count
+    compact = sum(
+        n for cls, n in stats.leaves_by_class.items()
+        if cls.startswith("compact/")
+    )
+    assert compact == stats.compact_leaf_count
