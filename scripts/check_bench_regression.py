@@ -1,12 +1,17 @@
 #!/usr/bin/env python
 """Guard the batched-execution economics against regressions.
 
-Runs the batch-lookup benchmark (``repro.bench.batch``) in a small,
-deterministic smoke configuration and compares its *weighted cost
+Runs the batch-lookup benchmark (``repro.bench.batch``) and the
+sharded-engine benchmark (``repro.bench.shard``) in small,
+deterministic smoke configurations and compares their *weighted cost
 units* — which are exactly reproducible, unlike wall-clock — against
-the committed baseline ``BENCH_batch.json``.  Fails (exit 1) when any
-tracked cost metric regresses by more than 25%, or when the batch cost
-saving falls below the 30% acceptance floor.  Optionally smoke-runs the
+the committed baselines ``BENCH_batch.json`` and ``BENCH_shard.json``.
+Fails (exit 1) when any tracked cost metric regresses by more than
+25%, when the batch cost saving falls below the 30% acceptance floor,
+or when the budget arbiter fails to strictly dominate the static
+equal split in the sharded smoke (lower total cost units at equal
+global memory, with at least one rebalance applied and visible as a
+``budget_rebalance`` event in the enabled replay).  Optionally smoke-runs the
 wall-clock microbenchmarks (one pass, timing disabled) to catch crashes
 there without gating on noisy timings.
 
@@ -36,8 +41,12 @@ import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO, "BENCH_batch.json")
+SHARD_BASELINE_PATH = os.path.join(REPO, "BENCH_shard.json")
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
+#: The arbiter must beat static equal split by at least this saving in
+#: the sharded smoke configuration (strict-dominance acceptance).
+SHARD_SAVING_FLOOR = 0.05
 
 #: Deterministic smoke configuration (seeded rngs, cost units exact).
 SMOKE = dict(
@@ -47,6 +56,16 @@ SMOKE = dict(
     indexes=("elastic", "stx"),
     seed=11,
     wall_repeats=1,
+)
+
+#: Sharded-engine smoke: two tables, two shards each, one global bound,
+#: budget arbitration vs static split (repro.bench.shard).
+SHARD_SMOKE = dict(
+    n_big=4000,
+    n_small=300,
+    txn_ops=6000,
+    shards=2,
+    seed=17,
 )
 
 
@@ -61,6 +80,96 @@ def run_smoke():
         metrics[f"{kind}.batch_cost_units"] = summary["batch_cost_units"]
         metrics[f"{kind}.cost_saving"] = summary["cost_saving"]
     return result, metrics
+
+
+def run_shard_smoke():
+    """The sharded smoke with observability left alone (disabled)."""
+    from repro.bench import shard
+
+    result = shard.run(capture_events=False, **SHARD_SMOKE)
+    meta = result.meta
+    metrics = {
+        "shard.static_cost_units": meta["static_cost_units"],
+        "shard.arbiter_cost_units": meta["arbiter_cost_units"],
+        "shard.cost_saving": meta["cost_saving"],
+    }
+    return result, metrics, meta
+
+
+def check_shard(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Arbiter dominance + cost-regression checks for the sharded smoke."""
+    failures = []
+    if meta["arbiter_cost_units"] >= meta["static_cost_units"]:
+        failures.append(
+            "shard: arbiter does not dominate static split "
+            f"({meta['arbiter_cost_units']:.1f} vs "
+            f"{meta['static_cost_units']:.1f} cost units)"
+        )
+    if meta["cost_saving"] < SHARD_SAVING_FLOOR:
+        failures.append(
+            f"shard: arbiter saving {meta['cost_saving']:.3f} below floor "
+            f"{SHARD_SAVING_FLOOR}"
+        )
+    if meta["rebalances"] == 0:
+        failures.append("shard: arbiter never rebalanced in the smoke run")
+    for name in ("shard.static_cost_units", "shard.arbiter_cost_units"):
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        value = metrics[name]
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            # Same zero-overhead contract as the batch smoke: with
+            # observability disabled the costs must be bit-identical.
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_shard_enabled_replay(base_metrics: dict) -> list:
+    """Replay the sharded smoke with observability on: identical costs,
+    and the rebalance decisions must be visible as events."""
+    from repro import obs
+
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        _, enabled_metrics, meta = run_shard_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    if meta["rebalance_events"] == 0:
+        failures.append(
+            "enabled-replay: no budget_rebalance events captured — the "
+            "arbiter's decisions must be observable"
+        )
+    if meta["rebalance_events"] != meta["rebalances"]:
+        failures.append(
+            f"enabled-replay: {meta['rebalance_events']} budget_rebalance "
+            f"events vs {meta['rebalances']} rebalances counted"
+        )
+    if not failures:
+        print(
+            f"shard enabled-replay: cost identical; "
+            f"{meta['rebalance_events']} budget_rebalance events captured"
+        )
+    return failures
 
 
 def check(metrics: dict, baseline: dict) -> list:
@@ -220,6 +329,9 @@ def main() -> int:
     result, metrics = run_smoke()
     print(result.render())
     print()
+    shard_result, shard_metrics, shard_meta = run_shard_smoke()
+    print(shard_result.render())
+    print()
 
     if args.update:
         payload = {"config": {k: list(v) if isinstance(v, tuple) else v
@@ -229,6 +341,13 @@ def main() -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {BASELINE_PATH}")
+        shard_payload = {"config": dict(SHARD_SMOKE),
+                         **{k: round(v, 4)
+                            for k, v in shard_metrics.items()}}
+        with open(SHARD_BASELINE_PATH, "w") as fh:
+            json.dump(shard_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {SHARD_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -240,6 +359,14 @@ def main() -> int:
     failures.extend(check_zero_overhead(metrics, baseline))
     check_enabled_replay.base_metrics = metrics
     failures.extend(check_enabled_replay())
+
+    if not os.path.exists(SHARD_BASELINE_PATH):
+        print(f"no baseline at {SHARD_BASELINE_PATH}; run with --update")
+        return 1
+    with open(SHARD_BASELINE_PATH) as fh:
+        shard_baseline = json.load(fh)
+    failures.extend(check_shard(shard_metrics, shard_meta, shard_baseline))
+    failures.extend(check_shard_enabled_replay(shard_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

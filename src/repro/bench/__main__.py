@@ -21,7 +21,7 @@ import os
 import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
-from repro.bench import latency, sec61, sec64
+from repro.bench import latency, sec61, sec64, shard
 
 
 def _experiments(full: bool, events_dir=None):
@@ -58,6 +58,10 @@ def _experiments(full: bool, events_dir=None):
         "latency": lambda: latency.run(n_items=10_000 * scale),
         "ablation-scan-length": lambda: ablation.run_scan_lengths(
             n_items=8_000 * scale
+        ),
+        "shard-arbiter": lambda: shard.run(
+            n_big=9_000 * scale, n_small=500 * scale,
+            txn_ops=12_000 * scale, events_dir=events_dir,
         ),
     }
 

@@ -122,6 +122,28 @@ class ElasticityController:
             action = self.pending_actions.pop(0)
             action()
 
+    def set_soft_bound(self, new_bound_bytes: int) -> PressureState:
+        """Move the soft bound at runtime (budget-arbiter entry point).
+
+        Must be called at an operation boundary (no descent in flight):
+        the pressure state is re-evaluated against the new thresholds —
+        firing the usual transition events and policy hooks — and any
+        deferred policy work (cold sweeps queued by a state change) runs
+        immediately.  Hysteresis is preserved across the re-bound: a
+        SHRINKING index granted more budget leaves SHRINKING only
+        through the ordinary SHRINKING -> EXPANDING -> NORMAL route once
+        its size genuinely clears the new thresholds.  Shrinking under a
+        *lower* bound happens through the same overflow-conversion
+        mechanism as always; this call only arms it.
+        """
+        assert self.tree is not None, "set_soft_bound requires attach()"
+        self.budget.set_soft_bound(new_bound_bytes)
+        # Keep the config mirror consistent for introspection/reporting.
+        self.config.size_bound_bytes = new_bound_bytes
+        state = self.observe()
+        self.run_pending()
+        return state
+
     # ------------------------------------------------------------------
     # Leaf construction helpers
     # ------------------------------------------------------------------

@@ -6,6 +6,12 @@ import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.harness import build_index
+from repro.engine import (
+    BudgetArbiter,
+    ShardedIndex,
+    build_sharded_index,
+    largest_remainder,
+)
 from repro.exec import BatchExecutor
 from repro.keys.encoding import encode_f64, encode_i64, encode_str
 from repro.memory.allocator import TrackingAllocator
@@ -134,17 +140,26 @@ class DBTable:
         columns: Sequence[str],
         kind: str = "stx",
         size_bound_bytes: Optional[int] = None,
+        shards: int = 1,
+        partitioner: str = "hash",
         **index_kwargs,
     ) -> SecondaryIndex:
         """Create an ordered secondary index over ``columns``.
 
         ``kind`` is any benchmark index name (``stx``, ``elastic``,
         ``hot``, ...); elastic indexes take their own
-        ``size_bound_bytes`` slice of the memory budget.  Existing rows
-        are back-filled.
+        ``size_bound_bytes`` slice of the memory budget.  With
+        ``shards > 1`` the index is partitioned across that many
+        independent ``kind`` instances behind the engine's router
+        (``partitioner``: ``"hash"`` or ``"range"``); an elastic bound
+        is split equally across the shards.  Elastic indexes — sharded
+        or not — enroll with the database's budget arbiter when one is
+        enabled.  Existing rows are back-filled.
         """
         if name in self.indexes:
             raise ValueError(f"index {name!r} already exists")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         positions = tuple(self.schema.column_names.index(c) for c in columns)
         widths = tuple(self.schema.column_widths[p] for p in positions)
         types = tuple(self.schema.type_of(p) for p in positions)
@@ -152,21 +167,36 @@ class DBTable:
             name, tuple(columns), widths, positions, None, None, types
         )
         view = TableView(self.table, secondary.key_of_row)
-        # Each index gets its own allocator so its footprint (and, for
-        # elastic indexes, its budget observations) is isolated; the
-        # shared cost model keeps one performance ledger.
-        index = build_index(
-            kind,
-            table=view,
-            allocator=TrackingAllocator(cost_model=self.db.cost),
-            cost=self.db.cost,
-            key_width=secondary.key_width,
-            size_bound_bytes=size_bound_bytes,
-            **index_kwargs,
-        )
+        # Each index (each shard, when sharded) gets its own allocator
+        # so its footprint (and, for elastic indexes, its budget
+        # observations) is isolated; the shared cost model keeps one
+        # performance ledger.
+        if shards == 1:
+            index = build_index(
+                kind,
+                table=view,
+                allocator=TrackingAllocator(cost_model=self.db.cost),
+                cost=self.db.cost,
+                key_width=secondary.key_width,
+                size_bound_bytes=size_bound_bytes,
+                **index_kwargs,
+            )
+        else:
+            index = build_sharded_index(
+                kind,
+                table=view,
+                cost=self.db.cost,
+                key_width=secondary.key_width,
+                n_shards=shards,
+                partitioner=partitioner,
+                size_bound_bytes=size_bound_bytes,
+                name=f"{self.schema.name}.{name}",
+                **index_kwargs,
+            )
         secondary.index = index
         secondary.view = view
         self.indexes[name] = secondary
+        self.db._register_with_arbiter(self.schema.name, name, index)
         # Back-fill existing rows.
         for tid, row in self.table.iter_live():
             index.insert(secondary.key_of_row(row), tid)
@@ -186,6 +216,7 @@ class DBTable:
         tid = self.table.insert_row(row)
         for secondary in self.indexes.values():
             secondary.index.insert(secondary.key_of_row(row), tid)
+        self.db._tick(1)
         return tid
 
     def insert_many(self, rows: Sequence[Sequence[int]]) -> List[int]:
@@ -207,6 +238,7 @@ class DBTable:
             secondary.executor.insert_many(
                 [(secondary.key_of_row(row), tid) for row, tid in stored]
             )
+        self.db._tick(len(stored))
         return tids
 
     def delete(self, tid: int) -> Tuple[int, ...]:
@@ -215,6 +247,7 @@ class DBTable:
         for secondary in self.indexes.values():
             secondary.index.remove(secondary.key_of_row(row))
         self.table.delete_row(tid)
+        self.db._tick(1)
         return row
 
     # ------------------------------------------------------------------
@@ -233,9 +266,9 @@ class DBTable:
         secondary = self.indexes[index_name]
         with self.db.trace_op(f"db.get[{index_name}]"):
             tid = secondary.index.lookup(secondary.key_of_values(values))
-            if tid is None:
-                return None
-            return self.table.row(tid)
+            row = self.table.row(tid) if tid is not None else None
+        self.db._tick(1)
+        return row
 
     def get_batch(
         self, index_name: str, values_batch: Sequence[Sequence[int]]
@@ -246,10 +279,12 @@ class DBTable:
         with self.db.trace_op(f"db.get_batch[{index_name}]"):
             keys = [secondary.key_of_values(v) for v in values_batch]
             tids = secondary.executor.get_many(keys)
-            return [
+            rows = [
                 self.table.row(tid) if tid is not None else None
                 for tid in tids
             ]
+        self.db._tick(len(keys))
+        return rows
 
     def scan(
         self,
@@ -271,9 +306,12 @@ class DBTable:
         with self.db.trace_op(f"db.scan[{index_name}]"):
             start = secondary.key_of_values(start_values)
             items = secondary.index.scan(start, count)
-            if not include_rows:
-                return [key for key, _ in items]
-            return [self.table.row(tid) for _, tid in items]
+            if include_rows:
+                out = [self.table.row(tid) for _, tid in items]
+            else:
+                out = [key for key, _ in items]
+        self.db._tick(1)
+        return out
 
     def scan_batch(
         self,
@@ -293,12 +331,15 @@ class DBTable:
         with self.db.trace_op(f"db.scan_batch[{index_name}]"):
             starts = [secondary.key_of_values(v) for v in start_values_batch]
             batches = secondary.executor.range_many(starts, count)
-            if not include_rows:
-                return [[key for key, _ in items] for items in batches]
-            return [
-                [self.table.row(tid) for _, tid in items]
-                for items in batches
-            ]
+            if include_rows:
+                out = [
+                    [self.table.row(tid) for _, tid in items]
+                    for items in batches
+                ]
+            else:
+                out = [[key for key, _ in items] for items in batches]
+        self.db._tick(len(starts))
+        return out
 
     @staticmethod
     def _scan_count(legacy_count: tuple, count: Optional[int]) -> int:
@@ -385,6 +426,7 @@ class Database:
         self.allocator = TrackingAllocator(cost_model=self.cost)
         self.tables: Dict[str, DBTable] = {}
         self.observer = Observer()
+        self.arbiter: Optional[BudgetArbiter] = None
 
     def create_table(self, schema: RowSchema) -> DBTable:
         if schema.name in self.tables:
@@ -392,6 +434,58 @@ class Database:
         table = DBTable(self, schema)
         self.tables[schema.name] = table
         return table
+
+    # ------------------------------------------------------------------
+    # Global budget arbitration
+    # ------------------------------------------------------------------
+    def enable_budget_arbiter(
+        self, total_bytes: int, **arbiter_kwargs
+    ) -> BudgetArbiter:
+        """Put all elastic indexes under one dynamically-arbitrated bound.
+
+        Creates the database's :class:`~repro.engine.BudgetArbiter` and
+        enrolls every already-created elastic index (each shard
+        individually, for sharded indexes); indexes created afterwards
+        enroll automatically.  Enrollment does not move budget — shards
+        keep their creation-time bounds until the first rebalance, which
+        runs every ``interval_ops`` database operations (or on an
+        explicit :meth:`rebalance_budget` call).
+        """
+        if self.arbiter is not None:
+            raise ValueError("budget arbiter already enabled")
+        self.arbiter = BudgetArbiter(total_bytes, **arbiter_kwargs)
+        for table_name, table in self.tables.items():
+            for index_name, secondary in table.indexes.items():
+                self._register_with_arbiter(
+                    table_name, index_name, secondary.index
+                )
+        return self.arbiter
+
+    def rebalance_budget(self, reason: str = "manual") -> bool:
+        """Run one arbitration round now; True if budget moved."""
+        if self.arbiter is None:
+            raise ValueError("no budget arbiter enabled")
+        return self.arbiter.rebalance(reason=reason)
+
+    def _register_with_arbiter(
+        self, table_name: str, index_name: str, index
+    ) -> None:
+        """Enroll an index's elasticity controller(s), if any."""
+        if self.arbiter is None:
+            return
+        if isinstance(index, ShardedIndex):
+            for shard in index.shards:
+                if shard.controller is not None:
+                    self.arbiter.register(shard.name, shard.controller)
+            return
+        controller = getattr(index, "controller", None)
+        if controller is not None:
+            self.arbiter.register(f"{table_name}.{index_name}", controller)
+
+    def _tick(self, ops: int) -> None:
+        """Operation-boundary hook: drives periodic arbitration."""
+        if self.arbiter is not None:
+            self.arbiter.tick(ops)
 
     # ------------------------------------------------------------------
     # Observability surface
@@ -414,6 +508,11 @@ class Database:
 
     @staticmethod
     def split_budget(total_bytes: int, shares: Sequence[float]) -> List[int]:
-        """Divide an index memory budget across indexes by weight."""
-        weight = sum(shares)
-        return [int(total_bytes * share / weight) for share in shares]
+        """Divide an index memory budget across indexes by weight.
+
+        Largest-remainder apportionment: the integer parts are handed
+        out first and the leftover bytes (up to ``len(shares) - 1``) go
+        to the largest fractional remainders, so the result always sums
+        to exactly ``total_bytes``.  Ties break toward earlier shares.
+        """
+        return largest_remainder(total_bytes, shares)

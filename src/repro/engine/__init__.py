@@ -1,0 +1,44 @@
+"""repro.engine — the sharded storage engine.
+
+Three layers between the database facade and the elastic index family:
+
+* **router** (:class:`~repro.engine.router.ShardedIndex`): hash- or
+  range-partitions one logical index across N shards and
+  scatter/gathers point, batch, and scan operations, presenting the
+  ordinary :class:`~repro.baselines.interface.OrderedIndex` surface.
+* **shard** (:class:`~repro.engine.shard.IndexShard`): one index
+  instance with its own tracking allocator — and, for elastic indexes,
+  its own :class:`~repro.memory.budget.MemoryBudget`.
+* **arbiter** (:class:`~repro.engine.arbiter.BudgetArbiter`): owns the
+  single global soft bound and periodically reapportions it across all
+  registered shards of all tables by occupancy and pressure state,
+  replacing the static at-creation ``Database.split_budget`` carve-up.
+
+With one shard and no arbiter the engine is byte-identical to the
+unsharded index it wraps; the layers add behaviour only when asked to.
+"""
+
+from repro.engine.arbiter import ArbiterStats, BudgetArbiter, largest_remainder
+from repro.engine.partition import (
+    HashPartitioner,
+    PARTITIONERS,
+    Partitioner,
+    RangePartitioner,
+    make_partitioner,
+)
+from repro.engine.router import ShardedIndex, build_sharded_index
+from repro.engine.shard import IndexShard
+
+__all__ = [
+    "ArbiterStats",
+    "BudgetArbiter",
+    "HashPartitioner",
+    "IndexShard",
+    "PARTITIONERS",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardedIndex",
+    "build_sharded_index",
+    "largest_remainder",
+    "make_partitioner",
+]

@@ -1,0 +1,246 @@
+"""The budget arbiter: one global soft bound, dynamically apportioned.
+
+The paper's elasticity algorithm (section 4) tunes one index against one
+soft size bound.  A database serving many tables under a single memory
+envelope needs the bound itself to move: a shard stuck in the SHRINKING
+state is demanding space, a NORMAL shard sitting far below its bound is
+hoarding slack.  :class:`BudgetArbiter` owns the global bound and
+periodically reapportions it across every registered elasticity
+controller:
+
+* each shard's **demand weight** is its current occupancy
+  (``index_bytes``), boosted by ``pressure_boost`` while the shard is
+  SHRINKING — shards under pressure pull budget toward themselves;
+* NORMAL shards with headroom donate implicitly: their weight is just
+  their occupancy, so their bound contracts toward their actual size;
+* every shard keeps at least ``min_bound_bytes`` (an empty shard must
+  be able to accept inserts without instantly shrinking);
+* a rebalance is applied only when it would move at least
+  ``rebalance_fraction`` of the total — hysteresis against churn.
+
+Bounds move through
+:meth:`~repro.core.elasticity.ElasticityController.set_soft_bound`,
+which preserves each controller's hysteresis state, so a rebalance never
+teleports a shard out of SHRINKING; it only changes the thresholds the
+ordinary transition rules are evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro import obs
+from repro.memory.budget import PressureState
+from repro.obs import BudgetRebalanceEvent, ShardPressureEvent
+
+
+def largest_remainder(total: int, weights: Sequence[float]) -> List[int]:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Integer parts first, then the leftover units go to the largest
+    fractional remainders (ties toward earlier entries), so the result
+    sums to exactly ``total``.
+    """
+    weights = list(weights)
+    if not weights:
+        raise ValueError("largest_remainder needs at least one weight")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    raw = [total * w / weight_sum for w in weights]
+    out = [int(r) for r in raw]
+    remainder = total - sum(out)
+    by_fraction = sorted(
+        range(len(weights)), key=lambda i: raw[i] - out[i], reverse=True
+    )
+    for i in by_fraction[:remainder]:
+        out[i] += 1
+    return out
+
+
+@dataclass
+class ArbiterStats:
+    """Counters of arbiter activity."""
+
+    evaluations: int = 0
+    rebalances: int = 0
+    skipped_small: int = 0
+    bytes_moved: int = 0
+    #: Per-shard pressure-state samples: state value -> count.
+    samples_by_state: Dict[str, int] = field(default_factory=dict)
+
+
+class BudgetArbiter:
+    """Owns one global soft bound across many elastic shards.
+
+    Args:
+        total_bytes: The global soft bound being apportioned.
+        interval_ops: Database operations between periodic evaluations
+            (via :meth:`tick`); explicit :meth:`rebalance` calls work
+            regardless.
+        pressure_boost: Demand-weight multiplier bonus for SHRINKING
+            shards (0.5 = a shrinking shard pulls like an index 50%
+            larger).
+        min_bound_bytes: Per-shard bound floor.
+        rebalance_fraction: Minimum fraction of ``total_bytes`` a
+            rebalance must move to be applied (churn hysteresis).
+    """
+
+    def __init__(
+        self,
+        total_bytes: int,
+        interval_ops: int = 4096,
+        pressure_boost: float = 0.5,
+        min_bound_bytes: int = 4096,
+        rebalance_fraction: float = 0.02,
+    ) -> None:
+        if total_bytes <= 0:
+            raise ValueError("global budget must be positive")
+        if interval_ops < 1:
+            raise ValueError("interval_ops must be positive")
+        if pressure_boost < 0:
+            raise ValueError("pressure_boost must be non-negative")
+        if not 0 <= rebalance_fraction < 1:
+            raise ValueError("rebalance_fraction must be in [0, 1)")
+        self.total_bytes = total_bytes
+        self.interval_ops = interval_ops
+        self.pressure_boost = pressure_boost
+        self.min_bound_bytes = min_bound_bytes
+        self.rebalance_fraction = rebalance_fraction
+        self.stats = ArbiterStats()
+        self._names: List[str] = []
+        self._controllers: List = []
+        self._ops_since = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, controller) -> None:
+        """Enroll one elasticity controller under the global bound.
+
+        The controller keeps its current bound until the next rebalance;
+        registration itself never moves budget (a shard being built
+        should not trigger churn on its siblings mid-backfill).
+        """
+        if name in self._names:
+            raise ValueError(f"shard {name!r} already registered")
+        self._names.append(name)
+        self._controllers.append(controller)
+
+    @property
+    def shard_names(self) -> List[str]:
+        return list(self._names)
+
+    def bounds(self) -> Dict[str, int]:
+        """Current per-shard soft bounds."""
+        return {
+            name: controller.budget.soft_bound_bytes
+            for name, controller in zip(self._names, self._controllers)
+        }
+
+    # ------------------------------------------------------------------
+    # Periodic driving
+    # ------------------------------------------------------------------
+    def tick(self, ops: int = 1) -> bool:
+        """Count database operations; rebalance every ``interval_ops``.
+
+        Returns True when an evaluation ran (whether or not it moved
+        budget).  Must be called at operation boundaries only.
+        """
+        self._ops_since += ops
+        if self._ops_since < self.interval_ops:
+            return False
+        self._ops_since = 0
+        self.rebalance(reason="interval")
+        return True
+
+    # ------------------------------------------------------------------
+    # The arbitration policy
+    # ------------------------------------------------------------------
+    def rebalance(self, reason: str = "manual") -> bool:
+        """Reapportion the global bound; returns True if budget moved."""
+        if not self._controllers:
+            return False
+        self.stats.evaluations += 1
+        sizes = [c.tree.index_bytes for c in self._controllers]
+        states = [c.state for c in self._controllers]
+        old_bounds = [
+            c.budget.soft_bound_bytes for c in self._controllers
+        ]
+        emit = obs.is_enabled()
+        for name, controller, size, state in zip(
+            self._names, self._controllers, sizes, states
+        ):
+            self.stats.samples_by_state[state.value] = (
+                self.stats.samples_by_state.get(state.value, 0) + 1
+            )
+            if emit:
+                obs.emit(ShardPressureEvent(
+                    shard=name, state=state.value, index_bytes=size,
+                    soft_bound_bytes=controller.budget.soft_bound_bytes,
+                    headroom_bytes=controller.budget.headroom_bytes(size),
+                ))
+
+        new_bounds = self._apportion(sizes, states)
+        moved = sum(
+            abs(new - old) for new, old in zip(new_bounds, old_bounds)
+        ) // 2
+        if moved < self.rebalance_fraction * self.total_bytes:
+            self.stats.skipped_small += 1
+            return False
+
+        for controller, bound in zip(self._controllers, new_bounds):
+            if bound != controller.budget.soft_bound_bytes:
+                controller.set_soft_bound(bound)
+        self.stats.rebalances += 1
+        self.stats.bytes_moved += moved
+        if emit:
+            obs.emit(BudgetRebalanceEvent(
+                reason=reason,
+                total_bytes=self.total_bytes,
+                bytes_moved=moved,
+                shards=list(self._names),
+                old_bounds=old_bounds,
+                new_bounds=new_bounds,
+                states=[state.value for state in states],
+            ))
+        return True
+
+    def _apportion(
+        self, sizes: Sequence[int], states: Sequence[PressureState]
+    ) -> List[int]:
+        """Target bounds: occupancy-proportional, pressure-boosted,
+        floored at ``min_bound_bytes`` per shard."""
+        n = len(sizes)
+        floor = self.min_bound_bytes
+        if self.total_bytes < n * floor:
+            # Not enough budget to honour the floor: equal split.
+            return largest_remainder(self.total_bytes, [1.0] * n)
+        weights = []
+        for size, state in zip(sizes, states):
+            weight = float(max(size, 1))
+            if state is PressureState.SHRINKING:
+                weight *= 1.0 + self.pressure_boost
+            weights.append(weight)
+        distributable = self.total_bytes - n * floor
+        extras = largest_remainder(distributable, weights)
+        return [floor + extra for extra in extras]
+
+    def report(self) -> List[Dict[str, object]]:
+        """Per-shard bound/size/state snapshot (bench reporting)."""
+        out: List[Dict[str, object]] = []
+        for name, controller in zip(self._names, self._controllers):
+            size = controller.tree.index_bytes
+            out.append({
+                "name": name,
+                "index_bytes": size,
+                "soft_bound_bytes": controller.budget.soft_bound_bytes,
+                "state": controller.state.value,
+                "headroom_bytes": controller.budget.headroom_bytes(size),
+            })
+        return out

@@ -1,0 +1,244 @@
+"""The router layer: scatter/gather over a set of index shards.
+
+:class:`ShardedIndex` presents the :class:`~repro.baselines.interface.
+OrderedIndex` surface over N per-shard indexes, so every consumer of the
+protocol — :class:`~repro.exec.BatchExecutor`, the database facade, the
+workload runners — works against a sharded index unchanged:
+
+* Point operations (``insert`` / ``lookup`` / ``remove``) route to the
+  one shard the partitioner places the key on.
+* Batch operations partition the batch per shard and hand each segment
+  to the shard index's own batch fast path (sorted-run descent sharing
+  on the B+-tree family), gathering results back into input order.
+* Scans depend on the partitioner: range partitioning keeps shard order
+  equal to key order, so a scan drains the start shard and spills into
+  successive shards; hash partitioning scatters the scan to every shard
+  and k-way merges the per-shard runs.
+
+Results are byte-identical to the same index unsharded: every key lives
+on exactly one deterministic shard, batch segments preserve input order
+within a shard (duplicate keys apply in input order), and scan merges
+reassemble global key order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.engine.partition import Partitioner, make_partitioner
+from repro.engine.shard import IndexShard
+from repro.obs import ShardRouteEvent
+
+
+class ShardedIndex:
+    """An OrderedIndex that hash- or range-partitions across shards."""
+
+    def __init__(
+        self, shards: Sequence[IndexShard], partitioner: Partitioner
+    ) -> None:
+        if len(shards) != partitioner.n_shards:
+            raise ValueError(
+                f"partitioner expects {partitioner.n_shards} shards, "
+                f"got {len(shards)}"
+            )
+        self.shards: List[IndexShard] = list(shards)
+        self.partitioner = partitioner
+
+    # ------------------------------------------------------------------
+    # Point operations: route to one shard
+    # ------------------------------------------------------------------
+    def _shard(self, key: bytes) -> IndexShard:
+        return self.shards[self.partitioner.shard_of(key)]
+
+    def insert(self, key: bytes, tid: int) -> Optional[int]:
+        return self._shard(key).index.insert(key, tid)
+
+    def lookup(self, key: bytes) -> Optional[int]:
+        return self._shard(key).index.lookup(key)
+
+    def remove(self, key: bytes) -> Optional[int]:
+        return self._shard(key).index.remove(key)
+
+    # ------------------------------------------------------------------
+    # Scans: spill in shard order, or scatter + merge
+    # ------------------------------------------------------------------
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, int]]:
+        if count <= 0:
+            return []
+        if self.partitioner.ordered:
+            items: List[Tuple[bytes, int]] = []
+            first = self.partitioner.shard_of(start_key)
+            for shard in self.shards[first:]:
+                items.extend(shard.index.scan(start_key, count - len(items)))
+                if len(items) >= count:
+                    break
+            return items
+        runs = [shard.index.scan(start_key, count) for shard in self.shards]
+        return list(islice(heapq.merge(*runs), count))
+
+    # ------------------------------------------------------------------
+    # Batch operations: partition, per-shard fast path, gather
+    # ------------------------------------------------------------------
+    def _group_by_shard(self, keys: Sequence[bytes]) -> Dict[int, List[int]]:
+        """Input positions per shard, preserving input order."""
+        groups: Dict[int, List[int]] = {}
+        shard_of = self.partitioner.shard_of
+        for position, key in enumerate(keys):
+            groups.setdefault(shard_of(key), []).append(position)
+        return groups
+
+    def _emit_routes(self, op: str, groups: Dict[int, List[int]]) -> None:
+        if obs.is_enabled():
+            for shard_id, positions in sorted(groups.items()):
+                obs.emit(ShardRouteEvent(
+                    op=op, shard=shard_id, ops=len(positions),
+                    fanout=len(groups),
+                ))
+
+    def lookup_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+        results: List[Optional[int]] = [None] * len(keys)
+        groups = self._group_by_shard(keys)
+        self._emit_routes("get", groups)
+        for shard_id, positions in groups.items():
+            hits = self.shards[shard_id].index.lookup_batch(
+                [keys[p] for p in positions]
+            )
+            for position, tid in zip(positions, hits):
+                results[position] = tid
+        return results
+
+    def insert_sorted_batch(
+        self, pairs: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[int]]:
+        results: List[Optional[int]] = [None] * len(pairs)
+        groups = self._group_by_shard([key for key, _ in pairs])
+        self._emit_routes("insert", groups)
+        for shard_id, positions in groups.items():
+            replaced = self.shards[shard_id].index.insert_sorted_batch(
+                [pairs[p] for p in positions]
+            )
+            for position, tid in zip(positions, replaced):
+                results[position] = tid
+        return results
+
+    def scan_batch(
+        self, start_keys: Sequence[bytes], count: int
+    ) -> List[List[Tuple[bytes, int]]]:
+        results: List[List[Tuple[bytes, int]]] = [[] for _ in start_keys]
+        if not start_keys or count <= 0:
+            return results
+        if not self.partitioner.ordered:
+            # Scatter to every shard, merge per start key.
+            runs = [
+                shard.index.scan_batch(start_keys, count)
+                for shard in self.shards
+            ]
+            self._emit_routes(
+                "scan",
+                {i: list(range(len(start_keys))) for i in range(len(self.shards))},
+            )
+            for position in range(len(start_keys)):
+                merged = heapq.merge(*(run[position] for run in runs))
+                results[position] = list(islice(merged, count))
+            return results
+        groups = self._group_by_shard(start_keys)
+        self._emit_routes("scan", groups)
+        for shard_id, positions in groups.items():
+            batches = self.shards[shard_id].index.scan_batch(
+                [start_keys[p] for p in positions], count
+            )
+            for position, items in zip(positions, batches):
+                # Spill into successive shards until the scan fills.
+                for shard in self.shards[shard_id + 1:]:
+                    if len(items) >= count:
+                        break
+                    items = items + shard.index.scan(
+                        start_keys[position], count - len(items)
+                    )
+                results[position] = items
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    @property
+    def index_bytes(self) -> int:
+        return sum(shard.index_bytes for shard in self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def controllers(self) -> List:
+        """Elasticity controllers of the elastic shards, in shard order."""
+        return [s.controller for s in self.shards if s.controller is not None]
+
+    def shard_report(self) -> List[Dict[str, float]]:
+        """Per-shard occupancy/pressure snapshot (bench reporting)."""
+        report = []
+        for shard in self.shards:
+            state = shard.pressure_state
+            report.append({
+                "name": shard.name,
+                "items": len(shard),
+                "index_bytes": shard.index_bytes,
+                "soft_bound_bytes": shard.soft_bound_bytes or 0,
+                "compact_fraction": shard.compact_fraction,
+                "state": state.value if state is not None else "",
+            })
+        return report
+
+
+def build_sharded_index(
+    kind: str,
+    *,
+    table,
+    cost,
+    key_width: int,
+    n_shards: int,
+    partitioner: str = "hash",
+    size_bound_bytes: Optional[int] = None,
+    name: str = "",
+    **index_kwargs,
+) -> ShardedIndex:
+    """Build ``n_shards`` independent ``kind`` indexes behind one router.
+
+    Each shard gets its own tracking allocator (isolated footprint and
+    budget observations) over the shared cost model; an elastic
+    ``size_bound_bytes`` is split equally across shards with
+    largest-remainder rounding — the static apportionment a
+    :class:`~repro.engine.arbiter.BudgetArbiter` later overrides.
+    """
+    # Imported lazily: repro.bench.harness pulls in every baseline, and
+    # repro.bench submodules import this package.
+    from repro.bench.harness import build_index
+    from repro.memory.allocator import TrackingAllocator
+
+    part = make_partitioner(partitioner, n_shards)
+    if size_bound_bytes is not None:
+        from repro.engine.arbiter import largest_remainder
+
+        bounds = largest_remainder(size_bound_bytes, [1.0] * n_shards)
+    else:
+        bounds = [None] * n_shards
+    shards = []
+    for shard_id in range(n_shards):
+        allocator = TrackingAllocator(cost_model=cost)
+        index = build_index(
+            kind,
+            table=table,
+            allocator=allocator,
+            cost=cost,
+            key_width=key_width,
+            size_bound_bytes=bounds[shard_id],
+            **index_kwargs,
+        )
+        label = f"{name}[{shard_id}]" if name else f"shard[{shard_id}]"
+        shards.append(IndexShard(shard_id, index, allocator, name=label))
+    return ShardedIndex(shards, part)

@@ -91,6 +91,28 @@ class MemoryBudget:
             self.transitions += 1
         return self.state
 
+    def set_soft_bound(
+        self, new_bound_bytes: int, current_bytes: int | None = None
+    ) -> PressureState:
+        """Re-bound the budget in place, preserving hysteresis state.
+
+        The pressure state is *kept* across the re-bound — a SHRINKING
+        index stays SHRINKING even if the new, larger bound would not
+        have triggered shrinking in the first place; it leaves the state
+        only through the ordinary transition rules, evaluated against
+        the new thresholds.  With ``current_bytes`` given, one
+        :meth:`observe` runs immediately so the state reflects the new
+        thresholds; without it, the caller is expected to observe at its
+        next safe boundary.  The transition counter survives, so
+        convergence tests can bound oscillation across re-bounds.
+        """
+        if new_bound_bytes <= 0:
+            raise ValueError("soft bound must be positive")
+        self.soft_bound_bytes = new_bound_bytes
+        if current_bytes is not None:
+            return self.observe(current_bytes)
+        return self.state
+
     def settle(self) -> None:
         """Return to NORMAL (called by the controller when no compact
         leaves remain during expansion)."""

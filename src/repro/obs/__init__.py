@@ -37,12 +37,15 @@ from repro.obs.events import (
     BatchDescentEvent,
     BatchDispatchEvent,
     BreathingResizeEvent,
+    BudgetRebalanceEvent,
     CapacityChangeEvent,
     Event,
     EventBus,
     LeafConversionEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    ShardPressureEvent,
+    ShardRouteEvent,
 )
 from repro.obs.exporters import (
     PressureTimeline,
@@ -65,6 +68,7 @@ __all__ = [
     "BatchDescentEvent",
     "BatchDispatchEvent",
     "BreathingResizeEvent",
+    "BudgetRebalanceEvent",
     "CapacityChangeEvent",
     "Counter",
     "DEFAULT_COST_BUCKETS",
@@ -78,6 +82,8 @@ __all__ = [
     "PolicyActionEvent",
     "PressureTimeline",
     "PressureTransitionEvent",
+    "ShardPressureEvent",
+    "ShardRouteEvent",
     "Span",
     "Tracer",
     "emit",

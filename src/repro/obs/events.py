@@ -154,6 +154,63 @@ class PolicyActionEvent(Event):
     action: str = ""
 
 
+@dataclass
+class ShardRouteEvent(Event):
+    """The shard router dispatched one batch segment to one shard.
+
+    Emitted per (batch, shard) pair by the engine's scatter/gather
+    paths: ``ops`` is the number of operations from the batch that the
+    partitioner routed to ``shard``.  ``fanout`` is the number of shards
+    the whole batch touched, so the scatter width is visible on every
+    event without cross-referencing.
+    """
+
+    kind: ClassVar[str] = "shard_route"
+    op: str = ""
+    shard: int = 0
+    ops: int = 0
+    fanout: int = 0
+
+
+@dataclass
+class BudgetRebalanceEvent(Event):
+    """The budget arbiter reapportioned the global soft bound.
+
+    One event per :meth:`~repro.engine.arbiter.BudgetArbiter.rebalance`
+    that actually moved budget.  The parallel ``shards`` /
+    ``old_bounds`` / ``new_bounds`` / ``states`` lists record the whole
+    decision; ``bytes_moved`` is the L1 distance between the two bound
+    vectors divided by two (bytes taken from donors = bytes granted to
+    demanders).
+    """
+
+    kind: ClassVar[str] = "budget_rebalance"
+    reason: str = ""
+    total_bytes: int = 0
+    bytes_moved: int = 0
+    shards: List[str] = field(default_factory=list)
+    old_bounds: List[int] = field(default_factory=list)
+    new_bounds: List[int] = field(default_factory=list)
+    states: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ShardPressureEvent(Event):
+    """One shard's occupancy/pressure as sampled by the arbiter.
+
+    Emitted per registered shard at every rebalance evaluation (whether
+    or not budget moved), so the per-shard pressure timeline is
+    reconstructible from the event log alone.
+    """
+
+    kind: ClassVar[str] = "shard_pressure"
+    shard: str = ""
+    state: str = ""
+    index_bytes: int = 0
+    soft_bound_bytes: int = 0
+    headroom_bytes: int = 0
+
+
 class EventBus:
     """A tiny synchronous publish/subscribe hub.
 

@@ -21,12 +21,15 @@ from repro.obs.events import (
     BatchDescentEvent,
     BatchDispatchEvent,
     BreathingResizeEvent,
+    BudgetRebalanceEvent,
     CapacityChangeEvent,
     Event,
     EventBus,
     LeafConversionEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    ShardPressureEvent,
+    ShardRouteEvent,
 )
 from repro.obs.exporters import write_event_log
 from repro.obs.metrics import MetricsRegistry
@@ -104,6 +107,26 @@ class Observer:
             "repro_conversion_cost_units",
             "Weighted cost-model units per conversion/capacity event.",
         )
+        self._shard_route = reg.counter(
+            "repro_shard_route_ops_total",
+            "Operations routed to engine shards, by op and shard.",
+        )
+        self._rebalances = reg.counter(
+            "repro_budget_rebalances_total",
+            "Budget-arbiter rebalances that moved budget, by reason.",
+        )
+        self._rebalance_bytes = reg.counter(
+            "repro_budget_bytes_moved_total",
+            "Soft-bound bytes moved between shards by the arbiter.",
+        )
+        self._shard_pressure = reg.counter(
+            "repro_shard_pressure_observations_total",
+            "Arbiter pressure samples per shard, by pressure state.",
+        )
+        self._shard_bound = reg.gauge(
+            "repro_shard_soft_bound_bytes",
+            "Per-shard soft bound as of the most recent rebalance.",
+        )
 
     def _on_event(self, event: Event) -> None:
         if len(self.events) == self.events.maxlen:
@@ -142,6 +165,17 @@ class Observer:
             self._batch_batches.inc(op=event.op)
             self._batch_descents.inc(event.descents, op=event.op)
             self._batch_ops.inc(event.batch_size, op=event.op)
+        elif isinstance(event, ShardRouteEvent):
+            self._shard_route.inc(
+                event.ops, op=event.op, shard=str(event.shard)
+            )
+        elif isinstance(event, BudgetRebalanceEvent):
+            self._rebalances.inc(reason=event.reason)
+            self._rebalance_bytes.inc(event.bytes_moved)
+            for shard, bound in zip(event.shards, event.new_bounds):
+                self._shard_bound.set(bound, shard=shard)
+        elif isinstance(event, ShardPressureEvent):
+            self._shard_pressure.inc(shard=event.shard, state=event.state)
 
     def metrics_snapshot(self) -> str:
         """Prometheus exposition text for every registered instrument."""

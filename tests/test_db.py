@@ -216,6 +216,30 @@ class TestMemoryAndElasticity:
         report = table.memory_report()
         assert report["index_bytes[hot]"] < report["index_bytes[stx]"]
 
+    def test_split_budget_distributes_remainder_exactly(self):
+        # 100_000 over 3 equal shares: no byte lost to truncation, the
+        # remainder goes to the earliest largest-fraction shares.
+        assert Database.split_budget(100_000, [1, 1, 1]) == [
+            33_334, 33_333, 33_333
+        ]
+        # Skewed shares: still sums exactly to the total.
+        bounds = Database.split_budget(99_999, [0.5, 0.3, 0.2])
+        assert sum(bounds) == 99_999
+        assert bounds[0] > bounds[1] > bounds[2]
+        # Degenerate cases.
+        assert Database.split_budget(7, [1, 1, 1]) == [3, 2, 2]
+        assert Database.split_budget(0, [1, 1]) == [0, 0]
+
+    def test_split_budget_validates_weights(self):
+        with pytest.raises(ValueError):
+            Database.split_budget(1000, [])
+        with pytest.raises(ValueError):
+            Database.split_budget(1000, [0, 0])
+        with pytest.raises(ValueError):
+            Database.split_budget(1000, [1, -1])
+        with pytest.raises(ValueError):
+            Database.split_budget(-1, [1])
+
     def test_elastic_state_reachable(self):
         _, table = make_log_table()
         idx = table.create_index(

@@ -208,3 +208,71 @@ class TestMemoryBudget:
     def test_headroom(self):
         budget = MemoryBudget(1000)
         assert budget.headroom_bytes(800) == 100
+
+
+class TestSetSoftBound:
+    """Runtime re-bounding (the budget arbiter's entry point) must move
+    the thresholds without losing hysteresis state."""
+
+    def test_moves_thresholds(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.set_soft_bound(2000)
+        assert budget.soft_bound_bytes == 2000
+        assert budget.shrink_threshold_bytes == 1800
+        assert budget.expand_threshold_bytes == 1500
+
+    def test_invalid_bound_rejected(self):
+        budget = MemoryBudget(1000)
+        with pytest.raises(ValueError):
+            budget.set_soft_bound(0)
+        with pytest.raises(ValueError):
+            budget.set_soft_bound(-5)
+        assert budget.soft_bound_bytes == 1000
+
+    def test_shrinking_survives_a_raise(self):
+        """Granting more budget must NOT silently flip SHRINKING back to
+        NORMAL: the state machine has no such edge, and compact leaves
+        may still need decompacting.  The state persists until an observe
+        drives an ordinary transition under the new thresholds."""
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)
+        assert budget.state is PressureState.SHRINKING
+        assert budget.set_soft_bound(10_000) is PressureState.SHRINKING
+        # Inside the new hysteresis band (expand 7500, shrink 9000) the
+        # state holds: no silent SHRINKING -> NORMAL flip.
+        assert budget.observe(8000) is PressureState.SHRINKING
+        # Below the new expand threshold the ordinary SHRINKING ->
+        # EXPANDING edge fires (decompaction, not a teleport to NORMAL),
+        # exactly as if the bound had always been 10_000.
+        assert budget.observe(7000) is PressureState.EXPANDING
+
+    def test_shrinking_survives_a_drop(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)
+        assert budget.set_soft_bound(800, current_bytes=950) is (
+            PressureState.SHRINKING
+        )
+        assert budget.shrink_threshold_bytes == 720
+
+    def test_transition_counter_survives_rebound(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        budget.observe(950)  # NORMAL -> SHRINKING
+        assert budget.transitions == 1
+        budget.set_soft_bound(500)
+        # 1600 sits inside the new band (expand 1500, shrink 1800): the
+        # re-bound itself must not mint a transition.
+        budget.set_soft_bound(2000, current_bytes=1600)
+        assert budget.transitions == 1
+
+    def test_optional_observe_runs_against_new_thresholds(self):
+        budget = MemoryBudget(1000, 0.9, 0.75)
+        assert budget.state is PressureState.NORMAL
+        # 500 would be comfortable under the old bound; under the new
+        # bound of 520 it is past the shrink threshold (468).
+        assert budget.set_soft_bound(520, current_bytes=500) is (
+            PressureState.SHRINKING
+        )
+        # Without current_bytes no observe runs at all.
+        budget2 = MemoryBudget(1000, 0.9, 0.75)
+        assert budget2.set_soft_bound(520) is PressureState.NORMAL
+        assert budget2.transitions == 0
