@@ -1,7 +1,7 @@
-"""Batched execution: get_many vs scalar lookups across batch sizes.
+"""Batched execution: get_batch vs scalar lookups across batch sizes.
 
 Shape claims (tentpole acceptance): on a 100k-key elastic index, a
-4096-key ``get_many`` charges at least 30% fewer weighted cost units
+4096-key ``get_batch`` charges at least 30% fewer weighted cost units
 than 4096 scalar lookups, and its wall-clock beats the scalar loop by
 at least 1.5x.  Savings grow monotonically-ish with batch size: larger
 runs share more of each inner node's fetch and routing work.

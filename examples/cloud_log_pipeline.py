@@ -12,10 +12,9 @@ Run:  python examples/cloud_log_pipeline.py
 
 from collections import deque
 
-from repro.bench.harness import build_index
+from repro.api import CostModel, build_index
 from repro.mcas.ado import IndexedTableADO
 from repro.mcas.store import MCASStore
-from repro.memory.cost_model import CostModel
 from repro.workloads.iotta import IottaTraceGenerator
 
 WINDOW_DAYS = 5

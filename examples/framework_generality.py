@@ -12,14 +12,16 @@ Run:  python examples/framework_generality.py
 
 import random
 
-from repro.core.config import ElasticConfig
-from repro.core.elastic_btree import ElasticBPlusTree
+from repro.api import (
+    CostModel,
+    ElasticBPlusTree,
+    ElasticConfig,
+    Table,
+    TrackingAllocator,
+    encode_u64,
+)
 from repro.core.elastic_variants import ElasticBwTree
-from repro.keys.encoding import encode_u64
-from repro.memory.allocator import TrackingAllocator
-from repro.memory.cost_model import CostModel
 from repro.skiplist.elastic import ElasticFatSkipList
-from repro.table.table import Table
 
 N = 12_000
 BOUND = 180_000

@@ -11,15 +11,15 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro import (
+from repro.api import (
     CostModel,
     ElasticBPlusTree,
     ElasticConfig,
     Table,
     TrackingAllocator,
+    encode_u64,
 )
 from repro.btree.stats import collect_stats
-from repro.keys.encoding import encode_u64
 
 
 def main() -> None:

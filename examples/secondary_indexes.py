@@ -11,8 +11,7 @@ overhead collapse while every query keeps working.
 Run:  python examples/secondary_indexes.py
 """
 
-from repro.db.database import Database
-from repro.table.table import RowSchema
+from repro.api import Database, RowSchema
 from repro.tools.inspect import format_size
 from repro.workloads.iotta import IottaTraceGenerator
 

@@ -1,17 +1,23 @@
 #!/usr/bin/env python
 """Guard the batched-execution economics against regressions.
 
-Runs the batch-lookup benchmark (``repro.bench.batch``) and the
-sharded-engine benchmark (``repro.bench.shard``) in small,
+Runs the batch-lookup benchmark (``repro.bench.batch``), the
+sharded-engine benchmark (``repro.bench.shard``), and the parallel
+scatter/gather benchmark (``repro.bench.parallel``) in small,
 deterministic smoke configurations and compares their *weighted cost
 units* — which are exactly reproducible, unlike wall-clock — against
-the committed baselines ``BENCH_batch.json`` and ``BENCH_shard.json``.
+the committed baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
+and ``BENCH_parallel.json``.
 Fails (exit 1) when any tracked cost metric regresses by more than
 25%, when the batch cost saving falls below the 30% acceptance floor,
-or when the budget arbiter fails to strictly dominate the static
+when the budget arbiter fails to strictly dominate the static
 equal split in the sharded smoke (lower total cost units at equal
 global memory, with at least one rebalance applied and visible as a
-``budget_rebalance`` event in the enabled replay).  Optionally smoke-runs the
+``budget_rebalance`` event in the enabled replay), or when the parallel
+executor violates its contract (results must be identical to serial on
+every op; the critical path must sit strictly below the serial sum on
+hash-sharded batched lookups at >= 4 shards; a single-shard scatter
+must charge exactly serial cost).  Optionally smoke-runs the
 wall-clock microbenchmarks (one pass, timing disabled) to catch crashes
 there without gating on noisy timings.
 
@@ -42,6 +48,7 @@ import sys
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO, "BENCH_batch.json")
 SHARD_BASELINE_PATH = os.path.join(REPO, "BENCH_shard.json")
+PARALLEL_BASELINE_PATH = os.path.join(REPO, "BENCH_parallel.json")
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
 #: The arbiter must beat static equal split by at least this saving in
@@ -66,6 +73,19 @@ SHARD_SMOKE = dict(
     txn_ops=6000,
     shards=2,
     seed=17,
+)
+
+#: Parallel-executor smoke: serial vs parallel scatter/gather over a
+#: hash-sharded index at one shard (single-task short-cut: exactly
+#: serial) and four shards (critical path strictly below serial sum).
+PARALLEL_SMOKE = dict(
+    n_keys=6000,
+    batch_ops=512,
+    scan_ops=64,
+    scan_count=8,
+    shard_counts=(1, 4),
+    workers=4,
+    seed=19,
 )
 
 
@@ -94,6 +114,116 @@ def run_shard_smoke():
         "shard.cost_saving": meta["cost_saving"],
     }
     return result, metrics, meta
+
+
+def run_parallel_smoke():
+    """The parallel-executor smoke (observability left disabled)."""
+    from repro.bench import parallel
+
+    result = parallel.run(**PARALLEL_SMOKE)
+    meta = result.meta
+    metrics = {}
+    for shards, arm in sorted(meta["per_shards"].items(), key=lambda kv:
+                              int(kv[0])):
+        for name in ("serial_lookup_cost", "parallel_lookup_cost",
+                     "serial_scan_cost", "parallel_scan_cost"):
+            metrics[f"parallel.s{shards}.{name}"] = arm[name]
+    return result, metrics, meta
+
+
+def check_parallel(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Executor-contract + cost-regression checks for the parallel smoke."""
+    failures = []
+    if not meta["results_identical"]:
+        failures.append(
+            "parallel: results diverged from serial — the executor must "
+            "change cost accounting, never answers"
+        )
+    one = meta["per_shards"]["1"]
+    if one["parallel_lookup_cost"] != one["serial_lookup_cost"] or \
+            one["parallel_scan_cost"] != one["serial_scan_cost"]:
+        failures.append(
+            "parallel: single-shard scatter not charged exactly serial "
+            f"cost ({one['parallel_lookup_cost']:.4f} vs "
+            f"{one['serial_lookup_cost']:.4f} lookup units)"
+        )
+    four = meta["per_shards"]["4"]
+    if four["parallel_lookup_cost"] >= four["serial_lookup_cost"]:
+        failures.append(
+            "parallel: critical path not below serial sum on 4-shard "
+            f"batched lookups ({four['parallel_lookup_cost']:.1f} vs "
+            f"{four['serial_lookup_cost']:.1f} cost units)"
+        )
+    if four["critical_path_units"] >= four["serial_sum_units"]:
+        failures.append(
+            "parallel: executor ledger critical path "
+            f"{four['critical_path_units']:.1f} not below serial sum "
+            f"{four['serial_sum_units']:.1f} at 4 shards"
+        )
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_parallel_enabled_replay(base_metrics: dict) -> list:
+    """Replay the parallel smoke with observability on: identical costs,
+    and the dispatch/gather activity must be visible as metrics."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, meta = run_parallel_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    if not meta["results_identical"]:
+        failures.append(
+            "enabled-replay: parallel results diverged from serial"
+        )
+    dispatch = observer.registry.get("repro_shard_dispatch_ops_total")
+    if dispatch is None or dispatch.total() == 0:
+        failures.append(
+            "enabled-replay: no shard dispatch metrics recorded"
+        )
+    gathers = observer.event_log("parallel_gather")
+    if len(gathers) == 0:
+        failures.append(
+            "enabled-replay: no parallel_gather events captured"
+        )
+    if not failures:
+        print(
+            f"parallel enabled-replay: cost identical; "
+            f"{dispatch.total():.0f} shard dispatch ops and "
+            f"{len(gathers)} parallel_gather events captured"
+        )
+    return failures
 
 
 def check_shard(metrics: dict, meta: dict, baseline: dict) -> list:
@@ -332,6 +462,9 @@ def main() -> int:
     shard_result, shard_metrics, shard_meta = run_shard_smoke()
     print(shard_result.render())
     print()
+    parallel_result, parallel_metrics, parallel_meta = run_parallel_smoke()
+    print(parallel_result.render())
+    print()
 
     if args.update:
         payload = {"config": {k: list(v) if isinstance(v, tuple) else v
@@ -348,6 +481,15 @@ def main() -> int:
             json.dump(shard_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {SHARD_BASELINE_PATH}")
+        parallel_payload = {
+            "config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in PARALLEL_SMOKE.items()},
+            **{k: round(v, 4) for k, v in parallel_metrics.items()},
+        }
+        with open(PARALLEL_BASELINE_PATH, "w") as fh:
+            json.dump(parallel_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {PARALLEL_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -367,6 +509,16 @@ def main() -> int:
         shard_baseline = json.load(fh)
     failures.extend(check_shard(shard_metrics, shard_meta, shard_baseline))
     failures.extend(check_shard_enabled_replay(shard_metrics))
+
+    if not os.path.exists(PARALLEL_BASELINE_PATH):
+        print(f"no baseline at {PARALLEL_BASELINE_PATH}; run with --update")
+        return 1
+    with open(PARALLEL_BASELINE_PATH) as fh:
+        parallel_baseline = json.load(fh)
+    failures.extend(
+        check_parallel(parallel_metrics, parallel_meta, parallel_baseline)
+    )
+    failures.extend(check_parallel_enabled_replay(parallel_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

@@ -1,0 +1,134 @@
+"""repro.api — the single public entry point.
+
+Everything an application needs to build tables, indexes, and sharded
+engines lives here, one import away::
+
+    from repro.api import Database, RowSchema
+
+    db = Database()
+    logs = db.create_table(RowSchema("logs", ("ts", "obj"), (8, 8)))
+    logs.create_index("by_ts", ("ts",), kind="elastic",
+                      size_bound_bytes=1 << 20, shards=4, parallel=True)
+
+The facade groups the stable surface of the layered packages:
+
+* **database** — :class:`Database`, :class:`DBTable`,
+  :class:`SecondaryIndex`, :class:`RowSchema`, :class:`Table`;
+* **indexes** — :class:`ElasticBPlusTree` + :class:`ElasticConfig` (the
+  paper's elastic B+-tree), :class:`BPlusTree` (the STX-style
+  baseline), plus the name registry (:func:`build_index`,
+  :func:`register_index`, :func:`available_indexes`) for everything
+  else;
+* **engine** — :class:`ShardedIndex` / :func:`build_sharded_index`,
+  partitioners, :class:`BudgetArbiter`, and the scatter/gather
+  executors (:class:`SerialShardExecutor`,
+  :class:`ParallelShardExecutor`, :func:`make_executor`,
+  :class:`FaultPlan`);
+* **execution** — :class:`BatchExecutor` for amortized operation
+  batches over one index;
+* **accounting** — :class:`CostModel`, :class:`TrackingAllocator`,
+  :class:`MemoryBudget`, :class:`PressureState`;
+* **errors** — the typed :mod:`repro.errors` hierarchy (every class
+  still subclasses :class:`ValueError`);
+* **observability** — the :mod:`repro.obs` module itself, re-exported
+  as :data:`obs` (``api.obs.set_enabled(True)``, ``api.obs.Observer()``).
+
+Deeper modules (``repro.bench``, ``repro.workloads``, ``repro.mcas``,
+per-structure baselines) remain importable directly; they are research
+drivers, not application surface.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.btree import BPlusTree
+from repro.core.config import ElasticConfig
+from repro.core.elastic_btree import ElasticBPlusTree
+from repro.db.database import Database, DBTable, SecondaryIndex
+from repro.engine import (
+    BudgetArbiter,
+    FaultPlan,
+    HashPartitioner,
+    IndexShard,
+    ParallelShardExecutor,
+    Partitioner,
+    RangePartitioner,
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardTask,
+    ShardedIndex,
+    build_sharded_index,
+    make_executor,
+    make_partitioner,
+)
+from repro.errors import (
+    ExecutorSaturatedError,
+    IndexExistsError,
+    InvalidBudgetError,
+    ReproError,
+    ShardConfigError,
+    ShardConflictError,
+)
+from repro.exec import BatchExecutor
+from repro.keys.encoding import encode_f64, encode_i64, encode_str, encode_u64
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.budget import MemoryBudget, PressureState
+from repro.memory.cost_model import CostModel
+from repro.registry import (
+    available_indexes,
+    build_index,
+    register_index,
+)
+from repro.table.table import RowSchema, Table
+
+__all__ = [
+    # database
+    "Database",
+    "DBTable",
+    "SecondaryIndex",
+    "RowSchema",
+    "Table",
+    # indexes
+    "BPlusTree",
+    "ElasticBPlusTree",
+    "ElasticConfig",
+    "available_indexes",
+    "build_index",
+    "register_index",
+    # engine
+    "BudgetArbiter",
+    "FaultPlan",
+    "HashPartitioner",
+    "IndexShard",
+    "ParallelShardExecutor",
+    "Partitioner",
+    "RangePartitioner",
+    "SerialShardExecutor",
+    "ShardExecutor",
+    "ShardTask",
+    "ShardedIndex",
+    "build_sharded_index",
+    "make_executor",
+    "make_partitioner",
+    # execution
+    "BatchExecutor",
+    # accounting
+    "CostModel",
+    "MemoryBudget",
+    "PressureState",
+    "TrackingAllocator",
+    # keys
+    "encode_f64",
+    "encode_i64",
+    "encode_str",
+    "encode_u64",
+    # errors
+    "ExecutorSaturatedError",
+    "IndexExistsError",
+    "InvalidBudgetError",
+    "ReproError",
+    "ShardConfigError",
+    "ShardConflictError",
+    # observability
+    "obs",
+]

@@ -21,7 +21,7 @@ import os
 import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
-from repro.bench import latency, sec61, sec64, shard
+from repro.bench import latency, parallel, sec61, sec64, shard
 
 
 def _experiments(full: bool, events_dir=None):
@@ -62,6 +62,10 @@ def _experiments(full: bool, events_dir=None):
         "shard-arbiter": lambda: shard.run(
             n_big=9_000 * scale, n_small=500 * scale,
             txn_ops=12_000 * scale, events_dir=events_dir,
+        ),
+        "parallel-executor": lambda: parallel.run(
+            n_keys=40_000 * scale, batch_ops=2_048 * scale,
+            scan_ops=256 * scale,
         ),
     }
 

@@ -2,7 +2,7 @@
 
 Loads ``n_keys`` uniform 64-bit keys into an index, then answers the
 same ``query_count`` uniform point lookups two ways: a scalar loop of
-``index.lookup`` calls, and ``BatchExecutor.get_many`` with the batch
+``index.lookup`` calls, and ``BatchExecutor.get_batch`` with the batch
 (chunk) size swept over ``batch_sizes``.  Reported per batch size:
 weighted cost units, wall-clock, the cost saving and the wall-clock
 speedup over the scalar loop.  Sorted-run descent sharing amortizes the
@@ -48,10 +48,10 @@ def _build(kind: str, n_keys: int, seed: int):
         tid = env.table.insert_row(value)
         pending.append((key, tid))
         if len(pending) >= 4096:
-            loader.insert_many(pending)
+            loader.insert_batch(pending)
             pending.clear()
     if pending:
-        loader.insert_many(pending)
+        loader.insert_batch(pending)
     keys = [encode_u64(v) for v in ordered]
     return env, keys
 
@@ -77,7 +77,7 @@ def run(
     """Batch-vs-scalar lookup cost and wall-clock across batch sizes."""
     result = ExperimentResult(
         "batch_lookup",
-        f"get_many vs scalar lookups: {query_count} uniform point queries "
+        f"get_batch vs scalar lookups: {query_count} uniform point queries "
         f"over {n_keys} keys",
         x_label="batch size",
     )
@@ -99,17 +99,17 @@ def run(
         batch_walls: List[float] = []
         for size in batch_sizes:
             executor = BatchExecutor(env.index, max_batch=size)
-            got = executor.get_many(queries)
+            got = executor.get_batch(queries)
             if got != expected:
                 raise AssertionError(
                     f"{kind}: batched results diverge at batch={size}"
                 )
             m_batch = measure(
-                env.cost, query_count, lambda: executor.get_many(queries)
+                env.cost, query_count, lambda: executor.get_batch(queries)
             )
             batch_costs.append(m_batch.cost_units)
             batch_walls.append(
-                _best_wall(lambda: executor.get_many(queries), wall_repeats)
+                _best_wall(lambda: executor.get_batch(queries), wall_repeats)
             )
         result.add_series(f"{kind} batch cost units", batch_costs)
         result.add_series(

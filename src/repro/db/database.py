@@ -5,18 +5,20 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.bench.harness import build_index
 from repro.engine import (
     BudgetArbiter,
     ShardedIndex,
     build_sharded_index,
     largest_remainder,
+    make_executor,
 )
+from repro.errors import IndexExistsError, InvalidBudgetError, ShardConfigError
 from repro.exec import BatchExecutor
 from repro.keys.encoding import encode_f64, encode_i64, encode_str
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.cost_model import CostModel
 from repro.obs import Event, Observer
+from repro.registry import build_index
 from repro.table.table import RowSchema, Table
 
 
@@ -142,24 +144,35 @@ class DBTable:
         size_bound_bytes: Optional[int] = None,
         shards: int = 1,
         partitioner: str = "hash",
+        parallel=False,
         **index_kwargs,
     ) -> SecondaryIndex:
         """Create an ordered secondary index over ``columns``.
 
-        ``kind`` is any benchmark index name (``stx``, ``elastic``,
+        ``kind`` is any registered index name (``stx``, ``elastic``,
         ``hot``, ...); elastic indexes take their own
         ``size_bound_bytes`` slice of the memory budget.  With
         ``shards > 1`` the index is partitioned across that many
         independent ``kind`` instances behind the engine's router
         (``partitioner``: ``"hash"`` or ``"range"``); an elastic bound
-        is split equally across the shards.  Elastic indexes — sharded
-        or not — enroll with the database's budget arbiter when one is
-        enabled.  Existing rows are back-filled.
+        is split equally across the shards.  ``parallel`` selects the
+        scatter/gather backend for a sharded index: ``False`` (serial,
+        byte-identical to a loop over shards), ``True`` (the default
+        parallel executor), a worker count, or a ready
+        :class:`~repro.engine.ShardExecutor` instance.  Elastic indexes
+        — sharded or not — enroll with the database's budget arbiter
+        when one is enabled.  Existing rows are back-filled.
         """
         if name in self.indexes:
-            raise ValueError(f"index {name!r} already exists")
+            raise IndexExistsError(f"index {name!r} already exists")
         if shards < 1:
-            raise ValueError("shards must be >= 1")
+            raise ShardConfigError("shards must be >= 1")
+        executor = make_executor(parallel)
+        if executor is not None and shards == 1:
+            raise ShardConfigError(
+                "parallel execution needs shards > 1; an unsharded index "
+                "has no scatter to parallelize"
+            )
         positions = tuple(self.schema.column_names.index(c) for c in columns)
         widths = tuple(self.schema.column_widths[p] for p in positions)
         types = tuple(self.schema.type_of(p) for p in positions)
@@ -191,6 +204,7 @@ class DBTable:
                 partitioner=partitioner,
                 size_bound_bytes=size_bound_bytes,
                 name=f"{self.schema.name}.{name}",
+                executor=executor,
                 **index_kwargs,
             )
         secondary.index = index
@@ -235,7 +249,7 @@ class DBTable:
             stored.append((row, tid))
             tids.append(tid)
         for secondary in self.indexes.values():
-            secondary.executor.insert_many(
+            secondary.executor.insert_batch(
                 [(secondary.key_of_row(row), tid) for row, tid in stored]
             )
         self.db._tick(len(stored))
@@ -278,7 +292,7 @@ class DBTable:
         secondary = self.indexes[index_name]
         with self.db.trace_op(f"db.get_batch[{index_name}]"):
             keys = [secondary.key_of_values(v) for v in values_batch]
-            tids = secondary.executor.get_many(keys)
+            tids = secondary.executor.get_batch(keys)
             rows = [
                 self.table.row(tid) if tid is not None else None
                 for tid in tids
@@ -330,7 +344,7 @@ class DBTable:
         secondary = self.indexes[index_name]
         with self.db.trace_op(f"db.scan_batch[{index_name}]"):
             starts = [secondary.key_of_values(v) for v in start_values_batch]
-            batches = secondary.executor.range_many(starts, count)
+            batches = secondary.executor.scan_batch(starts, count)
             if include_rows:
                 out = [
                     [self.table.row(tid) for _, tid in items]
@@ -452,7 +466,7 @@ class Database:
         explicit :meth:`rebalance_budget` call).
         """
         if self.arbiter is not None:
-            raise ValueError("budget arbiter already enabled")
+            raise InvalidBudgetError("budget arbiter already enabled")
         self.arbiter = BudgetArbiter(total_bytes, **arbiter_kwargs)
         for table_name, table in self.tables.items():
             for index_name, secondary in table.indexes.items():
@@ -464,7 +478,7 @@ class Database:
     def rebalance_budget(self, reason: str = "manual") -> bool:
         """Run one arbitration round now; True if budget moved."""
         if self.arbiter is None:
-            raise ValueError("no budget arbiter enabled")
+            raise InvalidBudgetError("no budget arbiter enabled")
         return self.arbiter.rebalance(reason=reason)
 
     def _register_with_arbiter(

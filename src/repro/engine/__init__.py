@@ -14,11 +14,30 @@ Three layers between the database facade and the elastic index family:
   registered shards of all tables by occupancy and pressure state,
   replacing the static at-creation ``Database.split_budget`` carve-up.
 
-With one shard and no arbiter the engine is byte-identical to the
-unsharded index it wraps; the layers add behaviour only when asked to.
+A fourth layer decides *how* a scatter executes:
+
+* **executor** (:class:`~repro.engine.executor.ShardExecutor`): the
+  scatter/gather backend behind the router.  The serial backend is
+  byte-identical to visiting shards in a loop; the parallel backend
+  dispatches per-shard sub-batches over a thread pool and charges
+  critical-path cost, with deterministic retry/hedging/degradation
+  driven by a :class:`~repro.engine.faults.FaultPlan`.
+
+With one shard, no arbiter, and the serial executor the engine is
+byte-identical to the unsharded index it wraps; the layers add
+behaviour only when asked to.
 """
 
 from repro.engine.arbiter import ArbiterStats, BudgetArbiter, largest_remainder
+from repro.engine.executor import (
+    ExecutorStats,
+    ParallelShardExecutor,
+    SerialShardExecutor,
+    ShardExecutor,
+    ShardTask,
+    make_executor,
+)
+from repro.engine.faults import FaultPlan
 from repro.engine.partition import (
     HashPartitioner,
     PARTITIONERS,
@@ -32,13 +51,20 @@ from repro.engine.shard import IndexShard
 __all__ = [
     "ArbiterStats",
     "BudgetArbiter",
+    "ExecutorStats",
+    "FaultPlan",
     "HashPartitioner",
     "IndexShard",
     "PARTITIONERS",
+    "ParallelShardExecutor",
     "Partitioner",
     "RangePartitioner",
+    "SerialShardExecutor",
+    "ShardExecutor",
+    "ShardTask",
     "ShardedIndex",
     "build_sharded_index",
     "largest_remainder",
+    "make_executor",
     "make_partitioner",
 ]

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro import obs
+from repro.errors import InvalidBudgetError, ShardConfigError
 from repro.memory.budget import PressureState
 from repro.obs import BudgetRebalanceEvent, ShardPressureEvent
 
@@ -44,14 +45,14 @@ def largest_remainder(total: int, weights: Sequence[float]) -> List[int]:
     """
     weights = list(weights)
     if not weights:
-        raise ValueError("largest_remainder needs at least one weight")
+        raise InvalidBudgetError("largest_remainder needs at least one weight")
     if total < 0:
-        raise ValueError("total must be non-negative")
+        raise InvalidBudgetError("total must be non-negative")
     if any(w < 0 for w in weights):
-        raise ValueError("weights must be non-negative")
+        raise InvalidBudgetError("weights must be non-negative")
     weight_sum = sum(weights)
     if weight_sum <= 0:
-        raise ValueError("weights must sum to a positive value")
+        raise InvalidBudgetError("weights must sum to a positive value")
     raw = [total * w / weight_sum for w in weights]
     out = [int(r) for r in raw]
     remainder = total - sum(out)
@@ -100,13 +101,13 @@ class BudgetArbiter:
         rebalance_fraction: float = 0.02,
     ) -> None:
         if total_bytes <= 0:
-            raise ValueError("global budget must be positive")
+            raise InvalidBudgetError("global budget must be positive")
         if interval_ops < 1:
-            raise ValueError("interval_ops must be positive")
+            raise InvalidBudgetError("interval_ops must be positive")
         if pressure_boost < 0:
-            raise ValueError("pressure_boost must be non-negative")
+            raise InvalidBudgetError("pressure_boost must be non-negative")
         if not 0 <= rebalance_fraction < 1:
-            raise ValueError("rebalance_fraction must be in [0, 1)")
+            raise InvalidBudgetError("rebalance_fraction must be in [0, 1)")
         self.total_bytes = total_bytes
         self.interval_ops = interval_ops
         self.pressure_boost = pressure_boost
@@ -128,7 +129,7 @@ class BudgetArbiter:
         should not trigger churn on its siblings mid-backfill).
         """
         if name in self._names:
-            raise ValueError(f"shard {name!r} already registered")
+            raise ShardConfigError(f"shard {name!r} already registered")
         self._names.append(name)
         self._controllers.append(controller)
 

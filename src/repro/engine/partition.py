@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import zlib
 
+from repro.errors import ShardConfigError
+
 
 class Partitioner:
     """Deterministic placement of fixed-width keys onto shards."""
@@ -30,7 +32,7 @@ class Partitioner:
 
     def __init__(self, n_shards: int) -> None:
         if n_shards < 1:
-            raise ValueError("need at least one shard")
+            raise ShardConfigError("need at least one shard")
         self.n_shards = n_shards
 
     def shard_of(self, key: bytes) -> int:
@@ -69,6 +71,6 @@ def make_partitioner(kind: str, n_shards: int) -> Partitioner:
         return HashPartitioner(n_shards)
     if kind == "range":
         return RangePartitioner(n_shards)
-    raise ValueError(
+    raise ShardConfigError(
         f"unknown partitioner {kind!r}; choose from {PARTITIONERS}"
     )

@@ -15,10 +15,17 @@ workload runners — works against a sharded index unchanged:
   successive shards; hash partitioning scatters the scan to every shard
   and k-way merges the per-shard runs.
 
-Results are byte-identical to the same index unsharded: every key lives
-on exactly one deterministic shard, batch segments preserve input order
-within a shard (duplicate keys apply in input order), and scan merges
-reassemble global key order.
+*How* the per-shard segments execute is delegated to a
+:class:`~repro.engine.executor.ShardExecutor`: the default serial
+backend visits shards one at a time (byte-identical to the unsharded
+index in results and cost units), while the parallel backend overlaps
+shard dispatches and charges critical-path cost — see
+:mod:`repro.engine.executor`.
+
+Results are byte-identical to the same index unsharded under either
+backend: every key lives on exactly one deterministic shard, batch
+segments preserve input order within a shard (duplicate keys apply in
+input order), and scan merges reassemble global key order.
 """
 
 from __future__ import annotations
@@ -28,24 +35,42 @@ from itertools import islice
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.engine.executor import SerialShardExecutor, ShardExecutor, ShardTask
 from repro.engine.partition import Partitioner, make_partitioner
 from repro.engine.shard import IndexShard
+from repro.errors import ShardConfigError
+from repro.memory.cost_model import NULL_COST_MODEL, CostModel
 from repro.obs import ShardRouteEvent
+
+#: Shared default backend: stateless, so one instance serves every
+#: serial-routed index.
+_SERIAL = SerialShardExecutor()
 
 
 class ShardedIndex:
     """An OrderedIndex that hash- or range-partitions across shards."""
 
     def __init__(
-        self, shards: Sequence[IndexShard], partitioner: Partitioner
+        self,
+        shards: Sequence[IndexShard],
+        partitioner: Partitioner,
+        executor: Optional[ShardExecutor] = None,
+        cost: Optional[CostModel] = None,
     ) -> None:
         if len(shards) != partitioner.n_shards:
-            raise ValueError(
+            raise ShardConfigError(
                 f"partitioner expects {partitioner.n_shards} shards, "
                 f"got {len(shards)}"
             )
         self.shards: List[IndexShard] = list(shards)
         self.partitioner = partitioner
+        self.executor: ShardExecutor = executor if executor is not None else _SERIAL
+        if cost is None:
+            cost = (
+                self.shards[0].allocator.cost_model
+                if self.shards else NULL_COST_MODEL
+            )
+        self.cost = cost
 
     # ------------------------------------------------------------------
     # Point operations: route to one shard
@@ -76,7 +101,17 @@ class ShardedIndex:
                 if len(items) >= count:
                     break
             return items
-        runs = [shard.index.scan(start_key, count) for shard in self.shards]
+        runs = self.executor.run_tasks(
+            "scan",
+            [
+                ShardTask(
+                    shard_id=shard.shard_id, ops=1, read_only=True,
+                    run=lambda s=shard: s.index.scan(start_key, count),
+                )
+                for shard in self.shards
+            ],
+            self.cost,
+        )
         return list(islice(heapq.merge(*runs), count))
 
     # ------------------------------------------------------------------
@@ -102,10 +137,16 @@ class ShardedIndex:
         results: List[Optional[int]] = [None] * len(keys)
         groups = self._group_by_shard(keys)
         self._emit_routes("get", groups)
-        for shard_id, positions in groups.items():
-            hits = self.shards[shard_id].index.lookup_batch(
-                [keys[p] for p in positions]
+        tasks = [
+            ShardTask(
+                shard_id=shard_id, ops=len(positions), read_only=True,
+                run=lambda s=self.shards[shard_id],
+                ks=[keys[p] for p in positions]: s.index.lookup_batch(ks),
             )
+            for shard_id, positions in groups.items()
+        ]
+        gathered = self.executor.run_tasks("get", tasks, self.cost)
+        for positions, hits in zip(groups.values(), gathered):
             for position, tid in zip(positions, hits):
                 results[position] = tid
         return results
@@ -116,10 +157,16 @@ class ShardedIndex:
         results: List[Optional[int]] = [None] * len(pairs)
         groups = self._group_by_shard([key for key, _ in pairs])
         self._emit_routes("insert", groups)
-        for shard_id, positions in groups.items():
-            replaced = self.shards[shard_id].index.insert_sorted_batch(
-                [pairs[p] for p in positions]
+        tasks = [
+            ShardTask(
+                shard_id=shard_id, ops=len(positions), read_only=False,
+                run=lambda s=self.shards[shard_id],
+                ps=[pairs[p] for p in positions]: s.index.insert_sorted_batch(ps),
             )
+            for shard_id, positions in groups.items()
+        ]
+        gathered = self.executor.run_tasks("insert", tasks, self.cost)
+        for positions, replaced in zip(groups.values(), gathered):
             for position, tid in zip(positions, replaced):
                 results[position] = tid
         return results
@@ -132,10 +179,15 @@ class ShardedIndex:
             return results
         if not self.partitioner.ordered:
             # Scatter to every shard, merge per start key.
-            runs = [
-                shard.index.scan_batch(start_keys, count)
+            tasks = [
+                ShardTask(
+                    shard_id=shard.shard_id, ops=len(start_keys),
+                    read_only=True,
+                    run=lambda s=shard: s.index.scan_batch(start_keys, count),
+                )
                 for shard in self.shards
             ]
+            runs = self.executor.run_tasks("scan", tasks, self.cost)
             self._emit_routes(
                 "scan",
                 {i: list(range(len(start_keys))) for i in range(len(self.shards))},
@@ -146,12 +198,23 @@ class ShardedIndex:
             return results
         groups = self._group_by_shard(start_keys)
         self._emit_routes("scan", groups)
-        for shard_id, positions in groups.items():
-            batches = self.shards[shard_id].index.scan_batch(
-                [start_keys[p] for p in positions], count
+        tasks = [
+            ShardTask(
+                shard_id=shard_id, ops=len(positions), read_only=True,
+                run=lambda s=self.shards[shard_id],
+                ks=[start_keys[p] for p in positions]: s.index.scan_batch(
+                    ks, count
+                ),
             )
+            for shard_id, positions in groups.items()
+        ]
+        gathered = self.executor.run_tasks("scan", tasks, self.cost)
+        for (shard_id, positions), batches in zip(groups.items(), gathered):
             for position, items in zip(positions, batches):
                 # Spill into successive shards until the scan fills.
+                # The spill chain is a sequential dependency (each hop
+                # knows how many items are still missing), so it stays
+                # on the caller's critical path under every backend.
                 for shard in self.shards[shard_id + 1:]:
                     if len(items) >= count:
                         break
@@ -205,6 +268,7 @@ def build_sharded_index(
     partitioner: str = "hash",
     size_bound_bytes: Optional[int] = None,
     name: str = "",
+    executor: Optional[ShardExecutor] = None,
     **index_kwargs,
 ) -> ShardedIndex:
     """Build ``n_shards`` independent ``kind`` indexes behind one router.
@@ -214,11 +278,10 @@ def build_sharded_index(
     ``size_bound_bytes`` is split equally across shards with
     largest-remainder rounding — the static apportionment a
     :class:`~repro.engine.arbiter.BudgetArbiter` later overrides.
+    ``executor`` selects the scatter/gather backend (default serial).
     """
-    # Imported lazily: repro.bench.harness pulls in every baseline, and
-    # repro.bench submodules import this package.
-    from repro.bench.harness import build_index
     from repro.memory.allocator import TrackingAllocator
+    from repro.registry import build_index
 
     part = make_partitioner(partitioner, n_shards)
     if size_bound_bytes is not None:
@@ -241,4 +304,4 @@ def build_sharded_index(
         )
         label = f"{name}[{shard_id}]" if name else f"shard[{shard_id}]"
         shards.append(IndexShard(shard_id, index, allocator, name=label))
-    return ShardedIndex(shards, part)
+    return ShardedIndex(shards, part, executor=executor, cost=cost)

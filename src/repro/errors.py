@@ -1,0 +1,68 @@
+"""Typed exception hierarchy for the public API surface.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch one base class instead of
+pattern-matching ``ValueError`` messages.  :class:`ReproError` itself
+subclasses :class:`ValueError`: every site that historically raised a
+bare ``ValueError`` keeps working for callers that still catch that —
+the redesign tightens the taxonomy without breaking a single
+``except ValueError``.
+
+The concrete classes map to the layers that raise them:
+
+* :class:`IndexExistsError` — creating a table or secondary index under
+  a name that is already taken (``repro.db``).
+* :class:`InvalidBudgetError` — a memory-budget figure that cannot be
+  apportioned: non-positive global bounds, negative weights, malformed
+  arbiter configuration (``repro.db``, ``repro.engine.arbiter``).
+* :class:`ShardConfigError` — impossible shard topology: zero shards,
+  unknown partitioner names, shard/partitioner arity mismatches, bad
+  executor knobs (``repro.engine``).
+* :class:`ShardConflictError` — a shard reported a *transient* conflict
+  during concurrent dispatch (the cost-model analogue of an OLC version
+  validation failure, cf. :class:`repro.concurrency.olc_tree.Restart`).
+  The parallel executor retries these with backoff; user code only sees
+  one if it drives a :class:`~repro.engine.executor.ShardExecutor`
+  directly.
+* :class:`ExecutorSaturatedError` — the parallel executor's pool could
+  not accept work.  Engine paths never propagate it (they degrade to
+  the serial backend instead); direct executor users opt in with
+  ``ParallelShardExecutor(strict_saturation=True)`` to shed load
+  themselves.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(ValueError):
+    """Base class of every deliberate error raised by this library."""
+
+
+class IndexExistsError(ReproError):
+    """An index (or table) name is already registered."""
+
+
+class InvalidBudgetError(ReproError):
+    """A memory budget cannot be apportioned as requested."""
+
+
+class ShardConfigError(ReproError):
+    """A sharded-engine topology or executor configuration is invalid."""
+
+
+class ShardConflictError(ReproError):
+    """A shard reported a transient conflict; the dispatch may retry."""
+
+
+class ExecutorSaturatedError(ReproError):
+    """The parallel dispatch pool cannot accept more work right now."""
+
+
+__all__ = [
+    "ExecutorSaturatedError",
+    "IndexExistsError",
+    "InvalidBudgetError",
+    "ReproError",
+    "ShardConfigError",
+    "ShardConflictError",
+]

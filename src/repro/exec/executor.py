@@ -22,12 +22,21 @@ native/fallback accounting.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.baselines.interface import OrderedIndex
 from repro.obs import BatchDispatchEvent
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"BatchExecutor.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -100,7 +109,7 @@ class BatchExecutor:
         if obs.is_enabled():
             obs.emit(BatchDispatchEvent(op=kind, ops=ops, native=native))
 
-    def get_many(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+    def get_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
         """Point-query a batch; results align with the input order."""
         out: List[Optional[int]] = []
         for chunk in self._chunks(keys):
@@ -108,7 +117,7 @@ class BatchExecutor:
             out.extend(self.index.lookup_batch(chunk))
         return out
 
-    def insert_many(
+    def insert_batch(
         self, pairs: Sequence[Tuple[bytes, int]]
     ) -> List[Optional[int]]:
         """Insert a batch of (key, tid) pairs; returns replaced tids.
@@ -123,7 +132,7 @@ class BatchExecutor:
             out.extend(self.index.insert_sorted_batch(chunk))
         return out
 
-    def range_many(
+    def scan_batch(
         self, start_keys: Sequence[bytes], count: int
     ) -> List[List[Tuple[bytes, int]]]:
         """Run one ``count``-item scan per start key."""
@@ -132,6 +141,32 @@ class BatchExecutor:
             self._record("scan", len(chunk))
             out.extend(self.index.scan_batch(chunk, count))
         return out
+
+    # ------------------------------------------------------------------
+    # Deprecated batch spellings (pre-redesign surface)
+    # ------------------------------------------------------------------
+    # The executor now uses the same ``*_batch`` vocabulary as the
+    # database read surface and the OrderedIndex protocol; the old
+    # ``*_many`` names remain as thin DeprecationWarning shims.
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[int]]:
+        """Deprecated alias of :meth:`get_batch`."""
+        _deprecated("get_many", "get_batch")
+        return self.get_batch(keys)
+
+    def insert_many(
+        self, pairs: Sequence[Tuple[bytes, int]]
+    ) -> List[Optional[int]]:
+        """Deprecated alias of :meth:`insert_batch`."""
+        _deprecated("insert_many", "insert_batch")
+        return self.insert_batch(pairs)
+
+    def range_many(
+        self, start_keys: Sequence[bytes], count: int
+    ) -> List[List[Tuple[bytes, int]]]:
+        """Deprecated alias of :meth:`scan_batch`."""
+        _deprecated("range_many", "scan_batch")
+        return self.scan_batch(start_keys, count)
 
     # ------------------------------------------------------------------
     def _chunks(self, items: Sequence):

@@ -53,7 +53,7 @@ about 2 extra units on a B+-tree versus about 19 on an indirect-key index
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Sequence, Tuple
 from contextlib import contextmanager
 
 
@@ -186,6 +186,57 @@ class CostModel:
         """Charge fixed per-operation overhead (in whole units)."""
         # Stored scaled by 1000 to keep counters integral.
         self.charge("fixed_op_milli", int(units * 1000))
+
+    def rebate_delta(self, delta: "CostModel") -> None:
+        """Remove a previously-charged event delta from the ledger.
+
+        The parallel executor measures every shard's sub-batch against
+        the shared model (so the work *is* charged as it executes) and
+        then rebates the events hidden behind the critical path — work
+        overlapped by a concurrently-executing shard costs no latency.
+        Implemented as negative charges so attribution buckets stay
+        consistent with the original charge.
+        """
+        for category, count in delta.counts.items():
+            self.charge(category, -count)
+
+    def charge_parallel(
+        self,
+        deltas: Sequence["CostModel"],
+        width: int,
+        coordination_units: float = 0.0,
+    ) -> Tuple[float, float]:
+        """Critical-path combinator over concurrently-executed deltas.
+
+        ``deltas`` are per-task event deltas (from :meth:`measure`)
+        whose events have *already* been charged to this model — the
+        serial sum.  Execution overlaps ``width`` tasks at a time, so
+        only the most expensive member of each wave of ``width``
+        consecutive deltas contributes latency; the other members'
+        events are rebated.  A ``coordination_units`` fee (``fixed_op``
+        units, the scatter/merge bookkeeping) is charged on top.
+
+        Returns ``(serial_sum_units, critical_path_units)``, where the
+        critical path includes the coordination fee.  Ties inside a
+        wave keep the earliest delta, so the outcome is deterministic
+        for any completion order.
+        """
+        if width < 1:
+            raise ValueError("parallel width must be positive")
+        critical = 0.0
+        costs = [delta.weighted_cost() for delta in deltas]
+        serial_sum = sum(costs)
+        for start in range(0, len(deltas), width):
+            wave = range(start, min(start + width, len(deltas)))
+            keep = max(wave, key=lambda i: (costs[i], -i))
+            critical += costs[keep]
+            for i in wave:
+                if i != keep:
+                    self.rebate_delta(deltas[i])
+        if coordination_units:
+            self.fixed_ops(coordination_units)
+            critical += coordination_units * self.weights.fixed_op
+        return serial_sum, critical
 
     @contextmanager
     def mlp_batch(self) -> Iterator[None]:

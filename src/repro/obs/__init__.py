@@ -41,10 +41,15 @@ from repro.obs.events import (
     CapacityChangeEvent,
     Event,
     EventBus,
+    ExecutorDegradeEvent,
     LeafConversionEvent,
+    ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    ShardDispatchEvent,
+    ShardHedgeEvent,
     ShardPressureEvent,
+    ShardRetryEvent,
     ShardRouteEvent,
 )
 from repro.obs.exporters import (
@@ -74,15 +79,20 @@ __all__ = [
     "DEFAULT_COST_BUCKETS",
     "Event",
     "EventBus",
+    "ExecutorDegradeEvent",
     "Gauge",
     "Histogram",
     "LeafConversionEvent",
     "MetricsRegistry",
     "Observer",
+    "ParallelGatherEvent",
     "PolicyActionEvent",
     "PressureTimeline",
     "PressureTransitionEvent",
+    "ShardDispatchEvent",
+    "ShardHedgeEvent",
     "ShardPressureEvent",
+    "ShardRetryEvent",
     "ShardRouteEvent",
     "Span",
     "Tracer",

@@ -173,6 +173,104 @@ class ShardRouteEvent(Event):
 
 
 @dataclass
+class ShardDispatchEvent(Event):
+    """The parallel shard executor completed one shard sub-batch.
+
+    One event per (batch, shard) dispatch, emitted by the coordinator
+    in shard order after the gather (so the stream is deterministic for
+    any thread completion order).  ``wave`` is the concurrent execution
+    group the shard landed in (waves of ``workers`` shards overlap;
+    wave costs add), ``attempts`` counts conflict retries plus the
+    final success, ``cost_units`` is the shard's effective (winning)
+    sub-batch cost, and ``hedged`` records whether a duplicate dispatch
+    was issued for this shard.
+    """
+
+    kind: ClassVar[str] = "shard_dispatch"
+    op: str = ""
+    shard: int = 0
+    ops: int = 0
+    wave: int = 0
+    attempts: int = 1
+    cost_units: float = 0.0
+    hedged: bool = False
+
+
+@dataclass
+class ShardRetryEvent(Event):
+    """A shard dispatch hit a transient conflict and was retried.
+
+    ``attempt`` is the 1-based attempt that failed; ``backoff_units``
+    is the modeled backoff charged before the next attempt (doubling
+    per attempt).
+    """
+
+    kind: ClassVar[str] = "shard_retry"
+    op: str = ""
+    shard: int = 0
+    attempt: int = 0
+    backoff_units: float = 0.0
+
+
+@dataclass
+class ShardHedgeEvent(Event):
+    """A straggler shard got a hedged duplicate dispatch.
+
+    Emitted when a read-only sub-batch exceeded the executor's
+    per-shard deadline budget: a duplicate was dispatched and the
+    cheaper attempt won (``winner`` is ``"hedge"`` or ``"primary"``);
+    the loser's events were rebated, so only the winner's cost remains
+    on the ledger.
+    """
+
+    kind: ClassVar[str] = "shard_hedge"
+    op: str = ""
+    shard: int = 0
+    primary_units: float = 0.0
+    hedge_units: float = 0.0
+    winner: str = ""
+
+
+@dataclass
+class ExecutorDegradeEvent(Event):
+    """The parallel executor fell back to serial execution.
+
+    ``scope`` is ``"batch"`` (the whole scatter ran on the serial
+    backend — pool saturated or shut down) or ``"shard"`` (one shard
+    exhausted its conflict retries and ran its final attempt
+    unconditionally).  ``shard`` is -1 for batch-scope events.
+    """
+
+    kind: ClassVar[str] = "executor_degrade"
+    op: str = ""
+    reason: str = ""
+    scope: str = "batch"
+    shard: int = -1
+
+
+@dataclass
+class ParallelGatherEvent(Event):
+    """One scatter/gather batch completed on the parallel backend.
+
+    The critical-path accounting summary: ``serial_sum_units`` is what
+    the batch would have charged executed shard-by-shard,
+    ``critical_path_units`` is what was actually charged (max per
+    concurrent wave, summed over waves, plus the
+    ``coordination_units`` merge fee).
+    """
+
+    kind: ClassVar[str] = "parallel_gather"
+    op: str = ""
+    shards: int = 0
+    waves: int = 0
+    workers: int = 0
+    ops: int = 0
+    serial_sum_units: float = 0.0
+    critical_path_units: float = 0.0
+    coordination_units: float = 0.0
+
+
+@dataclass
 class BudgetRebalanceEvent(Event):
     """The budget arbiter reapportioned the global soft bound.
 

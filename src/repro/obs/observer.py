@@ -25,10 +25,15 @@ from repro.obs.events import (
     CapacityChangeEvent,
     Event,
     EventBus,
+    ExecutorDegradeEvent,
     LeafConversionEvent,
+    ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    ShardDispatchEvent,
+    ShardHedgeEvent,
     ShardPressureEvent,
+    ShardRetryEvent,
     ShardRouteEvent,
 )
 from repro.obs.exporters import write_event_log
@@ -127,6 +132,38 @@ class Observer:
             "repro_shard_soft_bound_bytes",
             "Per-shard soft bound as of the most recent rebalance.",
         )
+        self._shard_dispatch = reg.counter(
+            "repro_shard_dispatch_ops_total",
+            "Operations dispatched by the parallel shard executor, "
+            "by op and shard.",
+        )
+        self._shard_retries = reg.counter(
+            "repro_shard_retries_total",
+            "Transient-conflict retries by the parallel executor, "
+            "by op and shard.",
+        )
+        self._shard_hedges = reg.counter(
+            "repro_shard_hedges_total",
+            "Hedged duplicate dispatches for straggler shards, by winner.",
+        )
+        self._executor_degrades = reg.counter(
+            "repro_executor_degrades_total",
+            "Parallel-executor fallbacks to serial execution, by reason.",
+        )
+        self._parallel_serial_sum = reg.gauge(
+            "repro_parallel_serial_sum_units",
+            "Serial-sum cost of the most recent parallel gather.",
+        )
+        self._parallel_critical_path = reg.gauge(
+            "repro_parallel_critical_path_units",
+            "Critical-path cost charged for the most recent parallel "
+            "gather.",
+        )
+        self._parallel_saved = reg.counter(
+            "repro_parallel_saved_units_total",
+            "Cost units hidden behind parallel critical paths "
+            "(serial sum minus critical path, accumulated).",
+        )
 
     def _on_event(self, event: Event) -> None:
         if len(self.events) == self.events.maxlen:
@@ -176,6 +213,22 @@ class Observer:
                 self._shard_bound.set(bound, shard=shard)
         elif isinstance(event, ShardPressureEvent):
             self._shard_pressure.inc(shard=event.shard, state=event.state)
+        elif isinstance(event, ShardDispatchEvent):
+            self._shard_dispatch.inc(
+                event.ops, op=event.op, shard=str(event.shard)
+            )
+        elif isinstance(event, ShardRetryEvent):
+            self._shard_retries.inc(op=event.op, shard=str(event.shard))
+        elif isinstance(event, ShardHedgeEvent):
+            self._shard_hedges.inc(winner=event.winner)
+        elif isinstance(event, ExecutorDegradeEvent):
+            self._executor_degrades.inc(reason=event.reason)
+        elif isinstance(event, ParallelGatherEvent):
+            self._parallel_serial_sum.set(event.serial_sum_units)
+            self._parallel_critical_path.set(event.critical_path_units)
+            saved = event.serial_sum_units - event.critical_path_units
+            if saved > 0:
+                self._parallel_saved.inc(saved)
 
     def metrics_snapshot(self) -> str:
         """Prometheus exposition text for every registered instrument."""

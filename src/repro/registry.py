@@ -1,0 +1,188 @@
+"""The index registry: benchmark names -> index constructors.
+
+Historically :func:`build_index` lived in ``repro.bench.harness``, which
+meant the *database* layer imported the *benchmark* layer to construct
+an index — exactly backwards for a public API.  The registry now owns
+the name table; the bench harness re-exports it for the figure drivers,
+and ``repro.db`` / ``repro.engine`` build indexes without touching
+``repro.bench`` at all.
+
+Names are open for extension: :func:`register_index` adds a constructor
+under a new name, and :func:`available_indexes` lists everything
+currently buildable.  Builders receive the standard wiring keywords —
+``table``, ``allocator``, ``cost``, ``key_width``, ``size_bound_bytes``
+— plus any builder-specific ones passed through ``**kwargs``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.baselines.art import ARTIndex
+from repro.baselines.bwtree import BwTreeIndex
+from repro.baselines.hot import HOTIndex
+from repro.baselines.hybrid import HybridIndex
+from repro.baselines.masstree import MasstreeIndex
+from repro.baselines.skiplist import SkipListIndex
+from repro.blindi.leaf import compact_leaf_factory
+from repro.blindi.seqtree import SeqTreeRep
+from repro.blindi.seqtrie import SeqTrieRep
+from repro.blindi.subtrie import SubTrieRep
+from repro.btree.tree import BPlusTree
+from repro.core.config import ElasticConfig
+from repro.core.elastic_btree import ElasticBPlusTree
+from repro.errors import ShardConfigError
+
+
+def _build_stx(*, table, allocator, cost, key_width, size_bound_bytes, **kw):
+    return BPlusTree(key_width, 16, 16, allocator, cost)
+
+
+def _build_elastic(*, table, allocator, cost, key_width, size_bound_bytes,
+                   **kwargs):
+    if size_bound_bytes is None:
+        raise ValueError("elastic index needs size_bound_bytes")
+    config = ElasticConfig(size_bound_bytes=size_bound_bytes, **kwargs)
+    return ElasticBPlusTree(
+        table, config, key_width=key_width,
+        allocator=allocator, cost_model=cost,
+    )
+
+
+def _build_seqtree128(*, table, allocator, cost, key_width, size_bound_bytes,
+                      **kwargs):
+    factory = compact_leaf_factory(
+        SeqTreeRep, 128, table, key_width,
+        breathing_slack=kwargs.get("breathing", 4),
+        rep_kwargs={"levels": kwargs.get("levels", 2)},
+    )
+    return BPlusTree(key_width, 128, 16, allocator, cost, leaf_factory=factory)
+
+
+def _compact_host_builder(rep_cls):
+    def build(*, table, allocator, cost, key_width, size_bound_bytes,
+              **kwargs):
+        capacity = kwargs.get("capacity", 128)
+        rep_kwargs = (
+            {"levels": kwargs.get("levels", 2)} if rep_cls is SeqTreeRep
+            else {}
+        )
+        factory = compact_leaf_factory(
+            rep_cls, capacity, table, key_width,
+            breathing_slack=kwargs.get("breathing"),
+            rep_kwargs=rep_kwargs,
+        )
+        return BPlusTree(
+            key_width, capacity, 16, allocator, cost, leaf_factory=factory
+        )
+
+    return build
+
+
+def _build_hot(*, table, allocator, cost, key_width, size_bound_bytes, **kw):
+    return HOTIndex(table, key_width, cost)
+
+
+def _build_art(*, table, allocator, cost, key_width, size_bound_bytes, **kw):
+    return ARTIndex(key_width, cost)
+
+
+def _build_skiplist(*, table, allocator, cost, key_width, size_bound_bytes,
+                    **kw):
+    return SkipListIndex(key_width, cost)
+
+
+def _build_bwtree(*, table, allocator, cost, key_width, size_bound_bytes,
+                  **kw):
+    return BwTreeIndex(key_width, allocator=allocator, cost_model=cost)
+
+
+def _build_masstree(*, table, allocator, cost, key_width, size_bound_bytes,
+                    **kw):
+    return MasstreeIndex(key_width, cost)
+
+
+def _build_hybrid(*, table, allocator, cost, key_width, size_bound_bytes,
+                  **kw):
+    return HybridIndex(key_width, cost)
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "stx": _build_stx,
+    "elastic": _build_elastic,
+    "seqtree128": _build_seqtree128,
+    "stx-seqtree": _compact_host_builder(SeqTreeRep),
+    "stx-subtrie": _compact_host_builder(SubTrieRep),
+    "stx-seqtrie": _compact_host_builder(SeqTrieRep),
+    "hot": _build_hot,
+    "art": _build_art,
+    "skiplist": _build_skiplist,
+    "bwtree": _build_bwtree,
+    "masstree": _build_masstree,
+    "hybrid": _build_hybrid,
+}
+
+#: The built-in benchmark names (a stable tuple for compatibility with
+#: the old ``repro.bench.harness.INDEX_BUILDERS``; dynamically
+#: registered names appear in :func:`available_indexes` only).
+INDEX_BUILDERS: Tuple[str, ...] = tuple(_BUILDERS)
+
+
+def register_index(name: str, builder: Callable, *,
+                   replace: bool = False) -> None:
+    """Register ``builder`` under ``name`` for :func:`build_index`.
+
+    ``builder`` must accept the standard wiring keywords (``table``,
+    ``allocator``, ``cost``, ``key_width``, ``size_bound_bytes``) plus
+    any extras, and return an
+    :class:`~repro.baselines.interface.OrderedIndex`.  Re-registering a
+    taken name requires ``replace=True``.
+    """
+    if not name:
+        raise ShardConfigError("index name must be non-empty")
+    if name in _BUILDERS and not replace:
+        raise ShardConfigError(
+            f"index builder {name!r} already registered "
+            "(pass replace=True to override)"
+        )
+    _BUILDERS[name] = builder
+
+
+def available_indexes() -> Tuple[str, ...]:
+    """Every name :func:`build_index` currently accepts."""
+    return tuple(_BUILDERS)
+
+
+def build_index(
+    name: str,
+    table,
+    allocator,
+    cost,
+    key_width: int,
+    size_bound_bytes: Optional[int] = None,
+    **kwargs,
+):
+    """Instantiate an index by its registered name.
+
+    Built-in names: ``stx``, ``elastic`` (requires
+    ``size_bound_bytes``), ``seqtree128``, ``stx-seqtree`` /
+    ``stx-subtrie`` / ``stx-seqtrie`` (``capacity``, ``levels``,
+    ``breathing`` kwargs), ``hot``, ``art``, ``skiplist``, ``bwtree``,
+    ``masstree``, ``hybrid`` — plus anything added through
+    :func:`register_index`.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(f"unknown index {name!r}")
+    return builder(
+        table=table, allocator=allocator, cost=cost, key_width=key_width,
+        size_bound_bytes=size_bound_bytes, **kwargs,
+    )
+
+
+__all__ = [
+    "INDEX_BUILDERS",
+    "available_indexes",
+    "build_index",
+    "register_index",
+]

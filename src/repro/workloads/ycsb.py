@@ -105,10 +105,10 @@ class YCSBRunner:
             else:
                 pending.append((key, tid))
                 if len(pending) >= batch_size:
-                    executor.insert_many(pending)
+                    executor.insert_batch(pending)
                     pending.clear()
         if executor is not None and pending:
-            executor.insert_many(pending)
+            executor.insert_batch(pending)
         self._chooser = make_generator(
             self.request_dist, len(self.key_values), self._seed ^ 0xBEEF
         )
@@ -184,7 +184,7 @@ class YCSBRunner:
         updates and RMWs) and scans batch up until the next insert —
         inserts grow the key population the request distribution draws
         from, so they are execution barriers — then each segment flushes
-        as one ``get_many`` / ``range_many`` call.  Row touches and RMW
+        as one ``get_batch`` / ``scan_batch`` call.  Row touches and RMW
         write-backs happen after the flush, exactly once per hit, as in
         the scalar path.
         """
@@ -211,7 +211,7 @@ class YCSBRunner:
         def flush() -> None:
             if lookups:
                 keys = [key for _, key in lookups]
-                tids = executor.get_many(keys)
+                tids = executor.get_batch(keys)
                 for (op, key), tid in zip(lookups, tids):
                     if tid is None or op == "read":
                         continue
@@ -222,12 +222,12 @@ class YCSBRunner:
                 lookups.clear()
             if scans:
                 # Workload E scan lengths vary per op; group by length so
-                # each range_many call is homogeneous.
+                # each scan_batch call is homogeneous.
                 by_length: Dict[int, List[bytes]] = {}
                 for start, length in scans:
                     by_length.setdefault(length, []).append(start)
                 for length, starts in by_length.items():
-                    executor.range_many(starts, length)
+                    executor.scan_batch(starts, length)
                 scans.clear()
 
         for _ in range(op_count):

@@ -1,7 +1,7 @@
 """Differential tests for the batched execution layer (repro.exec).
 
-Batched operations must be *semantically invisible*: ``get_many`` /
-``insert_many`` / ``range_many`` return exactly what a scalar loop
+Batched operations must be *semantically invisible*: ``get_batch`` /
+``insert_batch`` / ``scan_batch`` return exactly what a scalar loop
 returns, and after a batched insert the index is byte-identical
 (item count, index_bytes, structural stats) to one built by a scalar
 loop applying the same per-chunk sorted order.  The batch's whole point
@@ -77,10 +77,10 @@ def _chunk_sorted_order(
 
 
 # ----------------------------------------------------------------------
-# get_many
+# get_batch
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name", INDEX_BUILDERS)
-def test_get_many_matches_scalar(name):
+def test_get_batch_matches_scalar(name):
     env, values = _loaded_env(name, 400)
     rng = random.Random(99)
     queries = [encode_u64(rng.choice(values)) for _ in range(300)]
@@ -88,27 +88,27 @@ def test_get_many_matches_scalar(name):
     rng.shuffle(queries)
     expected = [env.index.lookup(k) for k in queries]
     executor = BatchExecutor(env.index, max_batch=64)
-    assert executor.get_many(queries) == expected
+    assert executor.get_batch(queries) == expected
     assert executor.stats.ops == len(queries)
     assert executor.native == (name in NATIVE_BATCH)
 
 
 @pytest.mark.parametrize("name", ("stx", "elastic", "hot"))
-def test_range_many_matches_scalar(name):
+def test_scan_batch_matches_scalar(name):
     env, values = _loaded_env(name, 400)
     rng = random.Random(5)
     starts = [encode_u64(rng.choice(values)) for _ in range(40)]
     starts += [encode_u64(rng.getrandbits(48)) for _ in range(10)]
     expected = [env.index.scan(s, 12) for s in starts]
     executor = BatchExecutor(env.index, max_batch=16)
-    assert executor.range_many(starts, 12) == expected
+    assert executor.scan_batch(starts, 12) == expected
 
 
 # ----------------------------------------------------------------------
-# insert_many: identical results and byte-identical final state
+# insert_batch: identical results and byte-identical final state
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name", ("stx", "elastic", "seqtree128", "hot"))
-def test_insert_many_identical_state(name):
+def test_insert_batch_identical_state(name):
     rng = random.Random(31)
     values = _mint_values(rng, 700)
     chunk = 128
@@ -116,7 +116,7 @@ def test_insert_many_identical_state(name):
     batch_env = _env(name)
     batch_pairs = _pairs(batch_env, values)
     executor = BatchExecutor(batch_env.index, max_batch=chunk)
-    batch_results = executor.insert_many(batch_pairs)
+    batch_results = executor.insert_batch(batch_pairs)
 
     scalar_env = _env(name)
     scalar_pairs = _pairs(scalar_env, values)
@@ -145,7 +145,7 @@ def test_insert_many_identical_state(name):
         assert b.leaves_by_class == s.leaves_by_class
 
 
-def test_insert_many_duplicates_apply_in_input_order():
+def test_insert_batch_duplicates_apply_in_input_order():
     env = make_u64_environment("stx")
     rng = random.Random(4)
     values = _mint_values(rng, 50)
@@ -165,7 +165,7 @@ def test_insert_many_duplicates_apply_in_input_order():
         k, t = pairs[i]
         expected[i] = mirror.index.insert(k, t)
     executor = BatchExecutor(env.index, max_batch=len(pairs))
-    assert executor.insert_many(pairs) == expected
+    assert executor.insert_batch(pairs) == expected
     last_tid = {}
     for k, t in sorted(pairs, key=lambda p: p[0]):
         last_tid[k] = t
@@ -185,7 +185,7 @@ def test_elastic_conversions_fire_mid_batch():
 
     batch_env = make_u64_environment("elastic", size_bound_bytes=bound)
     executor = BatchExecutor(batch_env.index, max_batch=chunk)
-    executor.insert_many(_pairs(batch_env, values))
+    executor.insert_batch(_pairs(batch_env, values))
 
     scalar_env = make_u64_environment("elastic", size_bound_bytes=bound)
     for k, t in _chunk_sorted_order(_pairs(scalar_env, values), chunk):
@@ -207,7 +207,7 @@ def test_elastic_conversions_fire_mid_batch():
     # Batched lookups over the converted tree agree with scalar ones.
     queries = [encode_u64(rng.choice(values)) for _ in range(500)]
     expected = [batch_env.index.lookup(k) for k in queries]
-    assert executor.get_many(queries) == expected
+    assert executor.get_batch(queries) == expected
     assert expected == [scalar_env.index.lookup(k) for k in queries]
 
 
@@ -226,7 +226,7 @@ def test_elastic_expansion_splits_after_batched_lookups():
     assert before > 0
     for _ in range(40):
         queries = [encode_u64(rng.choice(values)) for _ in range(256)]
-        executor.get_many(queries)
+        executor.get_batch(queries)
         if env.index.stats().compact_leaf_count < before:
             break
     after = env.index.stats().compact_leaf_count
@@ -247,7 +247,7 @@ def test_batch_lookup_cost_never_exceeds_scalar(name):
     scalar_cost = delta.weighted_cost()
     executor = BatchExecutor(env.index, max_batch=512)
     with env.cost.measure() as delta:
-        got = executor.get_many(queries)
+        got = executor.get_batch(queries)
     batch_cost = delta.weighted_cost()
     assert got == expected
     assert batch_cost <= scalar_cost * (1 + 1e-9), (batch_cost, scalar_cost)
@@ -269,9 +269,27 @@ def test_batch_insert_cost_never_exceeds_scalar():
     batch_pairs = _pairs(batch_env, values)
     executor = BatchExecutor(batch_env.index, max_batch=chunk)
     with batch_env.cost.measure() as delta:
-        executor.insert_many(batch_pairs)
+        executor.insert_batch(batch_pairs)
     batch_cost = delta.weighted_cost()
     assert batch_cost <= scalar_cost * (1 + 1e-9), (batch_cost, scalar_cost)
+
+
+# ----------------------------------------------------------------------
+# Deprecated *_many spellings: warn, then delegate
+# ----------------------------------------------------------------------
+def test_deprecated_many_spellings_warn_and_delegate():
+    env, values = _loaded_env("stx", 200)
+    executor = BatchExecutor(env.index, max_batch=64)
+    queries = [encode_u64(v) for v in values[:50]]
+    with pytest.warns(DeprecationWarning, match="get_many is deprecated"):
+        assert executor.get_many(queries) == executor.get_batch(queries)
+    with pytest.warns(DeprecationWarning, match="range_many is deprecated"):
+        assert executor.range_many(queries[:5], 4) == executor.scan_batch(
+            queries[:5], 4
+        )
+    pairs = _pairs(env, _mint_values(random.Random(71), 20))
+    with pytest.warns(DeprecationWarning, match="insert_many is deprecated"):
+        assert executor.insert_many(pairs) == [None] * len(pairs)
 
 
 # ----------------------------------------------------------------------

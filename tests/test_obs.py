@@ -308,8 +308,8 @@ class TestMetrics:
             keys = [k for k, _ in pairs]
             if batched:
                 executor = BatchExecutor(tree, max_batch=256)
-                executor.insert_many(pairs)
-                executor.get_many(keys[::5])
+                executor.insert_batch(pairs)
+                executor.get_batch(keys[::5])
             else:
                 for key, tid in pairs:
                     tree.insert(key, tid)
