@@ -2,24 +2,29 @@
 """Guard the batched-execution economics against regressions.
 
 Runs the batch-lookup benchmark (``repro.bench.batch``), the
-sharded-engine benchmark (``repro.bench.shard``), and the parallel
-scatter/gather benchmark (``repro.bench.parallel``) in small,
-deterministic smoke configurations and compares their *weighted cost
-units* — which are exactly reproducible, unlike wall-clock — against
-the committed baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
-and ``BENCH_parallel.json``.
+sharded-engine benchmark (``repro.bench.shard``), the parallel
+scatter/gather benchmark (``repro.bench.parallel``), and the adaptive
+cache benchmark (``repro.bench.cache``) in small, deterministic smoke
+configurations and compares their *weighted cost units* — which are
+exactly reproducible, unlike wall-clock — against the committed
+baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
+``BENCH_parallel.json``, and ``BENCH_cache.json``.
 Fails (exit 1) when any tracked cost metric regresses by more than
 25%, when the batch cost saving falls below the 30% acceptance floor,
 when the budget arbiter fails to strictly dominate the static
 equal split in the sharded smoke (lower total cost units at equal
 global memory, with at least one rebalance applied and visible as a
-``budget_rebalance`` event in the enabled replay), or when the parallel
+``budget_rebalance`` event in the enabled replay), when the parallel
 executor violates its contract (results must be identical to serial on
 every op; the critical path must sit strictly below the serial sum on
 hash-sharded batched lookups at >= 4 shards; a single-shard scatter
-must charge exactly serial cost).  Optionally smoke-runs the
-wall-clock microbenchmarks (one pass, timing disabled) to catch crashes
-there without gating on noisy timings.
+must charge exactly serial cost), or when the cache smoke violates its
+contract (cache-on must return byte-identical answers, cut weighted
+cost by at least 25% at equal total memory on both skewed workloads,
+and the cache-off arm must match the committed baseline exactly —
+proving the cache wiring costs nothing when no cache is attached).
+Optionally smoke-runs the wall-clock microbenchmarks (one pass, timing
+disabled) to catch crashes there without gating on noisy timings.
 
 Observability guards: with instrumentation *disabled* (the default) the
 smoke cost metrics must match the committed baseline **exactly** at the
@@ -49,11 +54,15 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO, "BENCH_batch.json")
 SHARD_BASELINE_PATH = os.path.join(REPO, "BENCH_shard.json")
 PARALLEL_BASELINE_PATH = os.path.join(REPO, "BENCH_parallel.json")
+CACHE_BASELINE_PATH = os.path.join(REPO, "BENCH_cache.json")
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
 #: The arbiter must beat static equal split by at least this saving in
 #: the sharded smoke configuration (strict-dominance acceptance).
 SHARD_SAVING_FLOOR = 0.05
+#: The adaptive cache must cut weighted cost by at least this much at
+#: equal total memory on each skewed smoke workload (acceptance floor).
+CACHE_SAVING_FLOOR = 0.25
 
 #: Deterministic smoke configuration (seeded rngs, cost units exact).
 SMOKE = dict(
@@ -86,6 +95,16 @@ PARALLEL_SMOKE = dict(
     shard_counts=(1, 4),
     workers=4,
     seed=19,
+)
+
+
+#: Adaptive-cache smoke: YCSB-C zipfian + IOTTA trace, cache on vs off
+#: at one identical soft memory bound (repro.bench.cache).
+CACHE_SMOKE = dict(
+    n_keys=8000,
+    query_count=16_000,
+    iotta_rows=6000,
+    seed=23,
 )
 
 
@@ -129,6 +148,101 @@ def run_parallel_smoke():
                      "serial_scan_cost", "parallel_scan_cost"):
             metrics[f"parallel.s{shards}.{name}"] = arm[name]
     return result, metrics, meta
+
+
+def run_cache_smoke():
+    """The adaptive-cache smoke (observability left disabled)."""
+    from repro.bench import cache
+
+    result = cache.run(**CACHE_SMOKE)
+    meta = result.meta
+    metrics = {}
+    for workload in ("zipf", "iotta"):
+        for name in ("base_cost_units", "cached_cost_units",
+                     "cost_saving", "hit_rate"):
+            metrics[f"cache.{workload}.{name}"] = meta[f"{workload}_{name}"]
+    return result, metrics, meta
+
+
+def check_cache(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Cache-contract + cost-regression checks for the cache smoke."""
+    failures = []
+    if not meta["results_identical"]:
+        failures.append(
+            "cache: cached results diverged from uncached — the cache "
+            "must change cost accounting, never answers"
+        )
+    for workload in ("zipf", "iotta"):
+        saving = meta[f"{workload}_cost_saving"]
+        if saving < CACHE_SAVING_FLOOR:
+            failures.append(
+                f"cache: {workload} saving {saving:.3f} below floor "
+                f"{CACHE_SAVING_FLOOR} at equal total memory"
+            )
+        if meta[f"{workload}_hit_rate"] <= 0.0:
+            failures.append(f"cache: {workload} arm recorded no hits")
+    for name, value in metrics.items():
+        if name.endswith("cost_saving") or name.endswith("hit_rate"):
+            continue
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif "base_cost" in name and round(value, 4) != base:
+            # The cache-off arm runs the exact pre-cache read path; any
+            # drift at all means the cache wiring leaked into it.
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with no cache "
+                f"attached, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_cache_enabled_replay(base_metrics: dict) -> list:
+    """Replay the cache smoke with observability on: identical costs,
+    and the cache's activity must be visible as events and metrics."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, meta = run_cache_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    events = observer.registry.get("repro_cache_events_total")
+    if events is None or events.total() == 0:
+        failures.append(
+            "enabled-replay: no cache events recorded — emission is "
+            "wired wrong"
+        )
+    hit_rate = observer.registry.get("repro_cache_hit_rate")
+    if hit_rate is None or hit_rate.total() == 0:
+        failures.append("enabled-replay: cache hit-rate gauge never set")
+    if not failures:
+        print(
+            f"cache enabled-replay: cost identical; "
+            f"{events.total():.0f} cache events captured"
+        )
+    return failures
 
 
 def check_parallel(metrics: dict, meta: dict, baseline: dict) -> list:
@@ -465,6 +579,9 @@ def main() -> int:
     parallel_result, parallel_metrics, parallel_meta = run_parallel_smoke()
     print(parallel_result.render())
     print()
+    cache_result, cache_metrics, cache_meta = run_cache_smoke()
+    print(cache_result.render())
+    print()
 
     if args.update:
         payload = {"config": {k: list(v) if isinstance(v, tuple) else v
@@ -490,6 +607,13 @@ def main() -> int:
             json.dump(parallel_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {PARALLEL_BASELINE_PATH}")
+        cache_payload = {"config": dict(CACHE_SMOKE),
+                         **{k: round(v, 4)
+                            for k, v in cache_metrics.items()}}
+        with open(CACHE_BASELINE_PATH, "w") as fh:
+            json.dump(cache_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {CACHE_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -519,6 +643,14 @@ def main() -> int:
         check_parallel(parallel_metrics, parallel_meta, parallel_baseline)
     )
     failures.extend(check_parallel_enabled_replay(parallel_metrics))
+
+    if not os.path.exists(CACHE_BASELINE_PATH):
+        print(f"no baseline at {CACHE_BASELINE_PATH}; run with --update")
+        return 1
+    with open(CACHE_BASELINE_PATH) as fh:
+        cache_baseline = json.load(fh)
+    failures.extend(check_cache(cache_metrics, cache_meta, cache_baseline))
+    failures.extend(check_cache_enabled_replay(cache_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

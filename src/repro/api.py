@@ -26,6 +26,10 @@ The facade groups the stable surface of the layered packages:
   :class:`FaultPlan`);
 * **execution** — :class:`BatchExecutor` for amortized operation
   batches over one index;
+* **caching** — :class:`CacheConfig` for budget-aware adaptive
+  caching (``create_index(..., cache=CacheConfig())``), plus the
+  :class:`IndexCache` / :class:`CacheStats` / :class:`CacheReport`
+  introspection surface;
 * **accounting** — :class:`CostModel`, :class:`TrackingAllocator`,
   :class:`MemoryBudget`, :class:`PressureState`;
 * **errors** — the typed :mod:`repro.errors` hierarchy (every class
@@ -42,6 +46,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.btree import BPlusTree
+from repro.cache import CacheConfig, CacheReport, CacheStats, IndexCache
 from repro.core.config import ElasticConfig
 from repro.core.elastic_btree import ElasticBPlusTree
 from repro.db.database import Database, DBTable, SecondaryIndex
@@ -62,6 +67,7 @@ from repro.engine import (
     make_partitioner,
 )
 from repro.errors import (
+    CacheConfigError,
     ExecutorSaturatedError,
     IndexExistsError,
     InvalidBudgetError,
@@ -112,6 +118,11 @@ __all__ = [
     "make_partitioner",
     # execution
     "BatchExecutor",
+    # caching
+    "CacheConfig",
+    "CacheReport",
+    "CacheStats",
+    "IndexCache",
     # accounting
     "CostModel",
     "MemoryBudget",
@@ -123,6 +134,7 @@ __all__ = [
     "encode_str",
     "encode_u64",
     # errors
+    "CacheConfigError",
     "ExecutorSaturatedError",
     "IndexExistsError",
     "InvalidBudgetError",

@@ -21,7 +21,7 @@ import os
 import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
-from repro.bench import latency, parallel, sec61, sec64, shard
+from repro.bench import cache, latency, parallel, sec61, sec64, shard
 
 
 def _experiments(full: bool, events_dir=None):
@@ -66,6 +66,10 @@ def _experiments(full: bool, events_dir=None):
         "parallel-executor": lambda: parallel.run(
             n_keys=40_000 * scale, batch_ops=2_048 * scale,
             scan_ops=256 * scale,
+        ),
+        "cache": lambda: cache.run(
+            n_keys=20_000 * scale, query_count=60_000 * scale,
+            iotta_rows=15_000 * scale,
         ),
     }
 

@@ -169,6 +169,14 @@ class BPlusTree:
         self.trace: Optional[List[int]] = None
         #: Node ids structurally modified by the last insert/remove.
         self.last_write_set: List[int] = []
+        #: Monotonic counter bumped by every structural change (leaf or
+        #: inner split, merge, rebalance, conversion, bulk load).  The
+        #: descent cache keys its validity on it, so a stale leaf can
+        #: never serve a read.
+        self.structural_epoch = 0
+        #: Optional adaptive read cache (:class:`repro.cache.IndexCache`);
+        #: ``None`` adds nothing but an untaken branch to any path.
+        self.cache = None
 
     # ------------------------------------------------------------------
     # Descent
@@ -212,6 +220,47 @@ class BPlusTree:
         if self.trace is not None:
             self.trace.append(node.node_id)
         return path, node, hi
+
+    def _descend_fenced(
+        self, key: bytes
+    ) -> Tuple[Path, LeafNode, Optional[bytes], Optional[bytes]]:
+        """Like :meth:`descend`, but also return the leaf's fence keys.
+
+        ``(lo, hi)`` bound the leaf's key interval (``None`` meaning
+        unbounded): every key in ``[lo, hi)`` routes to this leaf, which
+        is what the descent cache memoizes.
+        """
+        path: Path = []
+        lo: Optional[bytes] = None
+        hi: Optional[bytes] = None
+        node = self.root
+        while isinstance(node, InnerNode):
+            if self.trace is not None:
+                self.trace.append(node.node_id)
+            idx = node.route(key)
+            if idx > 0:
+                lo = node.keys[idx - 1]
+            if idx < len(node.keys):
+                hi = node.keys[idx]
+            path.append((node, idx))
+            node = node.children[idx]
+        if self.trace is not None:
+            self.trace.append(node.node_id)
+        return path, node, lo, hi
+
+    # ------------------------------------------------------------------
+    # Adaptive caching (repro.cache)
+    # ------------------------------------------------------------------
+    def attach_cache(self, cache) -> None:
+        """Attach an adaptive read cache (:class:`repro.cache.IndexCache`).
+
+        The cache charges its bytes to this tree's allocator under the
+        ``"cache"`` category, so — since :attr:`index_bytes` sums every
+        non-table category — it competes with the tree's own leaves for
+        any elastic soft bound.
+        """
+        cache.bind(self.allocator, self.cost, self.key_width)
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # Batched descent (sorted-run descent sharing)
@@ -293,8 +342,24 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def lookup(self, key: bytes) -> Optional[int]:
         """Point query: tuple id for ``key`` or ``None``."""
-        _, leaf = self.descend(key)
-        return leaf.lookup(key)
+        cache = self.cache
+        if cache is None:
+            _, leaf = self.descend(key)
+            return leaf.lookup(key)
+        tid = cache.probe_row(key)
+        if tid is not None:
+            return tid
+        epoch = self.structural_epoch
+        leaf = cache.probe_leaf(key, epoch)
+        if leaf is not None:
+            tid = leaf.lookup(key)
+        else:
+            _, leaf, lo, hi = self._descend_fenced(key)
+            tid = leaf.lookup(key)
+            cache.admit_leaf(lo, hi, leaf, epoch)
+        if tid is not None and leaf.is_compact:
+            cache.admit_row(key, tid)
+        return tid
 
     def lookup_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
         """Point-query a batch of keys with one shared descent.
@@ -307,19 +372,53 @@ class BPlusTree:
         results: List[Optional[int]] = [None] * len(keys)
         if not keys:
             return results
+        cache = self.cache
+        if cache is not None:
+            # Probe the whole batch first; only misses pay for descents.
+            keys, positions = self._probe_batch(cache, keys, results)
+            if not keys:
+                return results
         order, run = self._sorted_run(keys)
         groups = self._partition_descend(run)
         for leaf, lo, hi in groups:
             hits = leaf.lookup_batch(run[lo:hi])
+            compact = cache is not None and leaf.is_compact
             for offset, tid in enumerate(hits):
-                results[order[lo + offset]] = tid
+                position = order[lo + offset]
+                if cache is not None:
+                    position = positions[position]
+                results[position] = tid
+                if compact and tid is not None:
+                    cache.admit_row(run[lo + offset], tid)
         self._emit_batch_descent("lookup", len(keys), len(groups))
         return results
+
+    @staticmethod
+    def _probe_batch(
+        cache, keys: Sequence[bytes], results: List[Optional[int]]
+    ) -> Tuple[List[bytes], List[int]]:
+        """Resolve a batch's row-cache hits in place; return the misses.
+
+        Fills ``results`` at hit positions and returns the missed keys
+        with their input positions, ready for the shared descent.
+        """
+        miss_keys: List[bytes] = []
+        positions: List[int] = []
+        for position, key in enumerate(keys):
+            tid = cache.probe_row(key)
+            if tid is not None:
+                results[position] = tid
+            else:
+                miss_keys.append(key)
+                positions.append(position)
+        return miss_keys, positions
 
     def insert(self, key: bytes, tid: int) -> Optional[int]:
         """Insert or replace; returns the replaced tuple id if any."""
         if len(key) != self.key_width:
             raise ValueError(f"key width {len(key)} != {self.key_width}")
+        if self.cache is not None:
+            self.cache.invalidate_row(key)
         self.last_write_set = []
         path, leaf = self.descend(key)
         try:
@@ -350,6 +449,9 @@ class BPlusTree:
         results: List[Optional[int]] = [None] * len(pairs)
         if not pairs:
             return results
+        if self.cache is not None:
+            for key, _ in pairs:
+                self.cache.invalidate_row(key)
         order = sorted(range(len(pairs)), key=lambda i: pairs[i][0])
         self.last_write_set = []
         path: Path = []
@@ -392,6 +494,8 @@ class BPlusTree:
 
     def remove(self, key: bytes) -> Optional[int]:
         """Remove ``key``; returns its tuple id or ``None`` if absent."""
+        if self.cache is not None:
+            self.cache.invalidate_row(key)
         self.last_write_set = []
         path, leaf = self.descend(key)
         tid = leaf.remove(key)
@@ -530,6 +634,7 @@ class BPlusTree:
 
     def insert_separator(self, path: Path, separator: bytes, right: Node) -> None:
         """Insert a separator/child produced by a split, cascading up."""
+        self.structural_epoch += 1
         if not path:
             new_root = InnerNode(
                 self.key_width,
@@ -583,6 +688,9 @@ class BPlusTree:
         """Restore the fill invariant of ``leaf`` after a remove."""
         if not path:
             return  # root leaf: nothing to rebalance with
+        # Borrows move keys across fences, merges drop leaves: either
+        # way cached descents are stale.
+        self.structural_epoch += 1
         parent, idx = path[-1]
         if leaf.count == 0:
             # Empty leaves are removable even when every sibling is too
@@ -787,6 +895,9 @@ class BPlusTree:
         self.root = nodes[0]
         self._count = len(items)
         old_root.destroy()
+        self.structural_epoch += 1
+        if self.cache is not None:
+            self.cache.clear()
 
     # ------------------------------------------------------------------
     # Elastic-host surface (see repro.core.framework.ElasticHost)
@@ -817,6 +928,7 @@ class BPlusTree:
 
     def replace_leaf(self, path: Path, old: LeafNode, new: LeafNode) -> None:
         """Swap ``old`` for ``new`` in the parent and the leaf chain."""
+        self.structural_epoch += 1
         new.replace_in_chain(old)
         if path:
             parent, _ = path[-1]

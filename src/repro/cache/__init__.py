@@ -1,0 +1,20 @@
+"""repro.cache — budget-aware adaptive caching for index read paths.
+
+A two-tier cache (hot rows + leaf descents) that charges its bytes to
+the owning shard's tracking allocator, so it competes with the index's
+own leaves for the elastic soft memory bound.  See
+:mod:`repro.cache.cache` for the semantics and
+:mod:`repro.cache.config` for the knobs.
+"""
+
+from repro.cache.cache import CacheReport, CacheStats, IndexCache
+from repro.cache.config import CacheConfig
+from repro.cache.sketch import FrequencySketch
+
+__all__ = [
+    "CacheConfig",
+    "CacheReport",
+    "CacheStats",
+    "FrequencySketch",
+    "IndexCache",
+]

@@ -1,0 +1,91 @@
+"""Configuration for the budget-aware adaptive cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CacheConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Knobs of one :class:`~repro.cache.IndexCache`.
+
+    The cache is another point on the paper's space/efficiency curve, so
+    its budget is expressed in the same currency as the index's soft
+    bound: bytes charged to the shard's tracking allocator.  A
+    :class:`~repro.engine.arbiter.BudgetArbiter` may later move the
+    budget (see ``adaptive``); the values here are the starting point
+    and the guard rails.
+
+    Args:
+        budget_bytes: Initial cache budget (sketch + both tiers).
+        row_fraction: Share of the usable budget given to the hot-row
+            tier; the remainder funds the leaf-descent tier.
+        sketch_width: Admission-sketch counters per row (rounded up to a
+            power of two).
+        sketch_depth: Admission-sketch rows.
+        sketch_sample_size: Recordings between sketch aging passes.
+        min_budget_bytes: Floor the arbiter never shrinks the cache
+            below (mirrors the arbiter's per-shard bound floor).
+        max_bound_fraction: Ceiling on the fraction of a shard's soft
+            bound the arbiter may hand to the cache.
+        demand_gain: Multiplier mapping the observed window hit rate to
+            the arbiter's target bound fraction (target =
+            ``bound * min(max_bound_fraction, hit_rate * demand_gain)``).
+        adaptive: When False, the arbiter leaves the budget alone.
+    """
+
+    budget_bytes: int = 64 * 1024
+    row_fraction: float = 0.75
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    sketch_sample_size: int = 8192
+    min_budget_bytes: int = 4096
+    max_bound_fraction: float = 0.5
+    demand_gain: float = 2.0
+    adaptive: bool = True
+
+    def validate(self, size_bound_bytes: Optional[int] = None) -> None:
+        """Raise :class:`~repro.errors.CacheConfigError` if unusable."""
+        if self.budget_bytes <= 0:
+            raise CacheConfigError(
+                f"cache budget must be positive, got {self.budget_bytes}"
+            )
+        if not 0.0 < self.row_fraction < 1.0:
+            raise CacheConfigError(
+                f"row_fraction must be in (0, 1), got {self.row_fraction}"
+            )
+        if self.sketch_width < 2 or self.sketch_depth < 1:
+            raise CacheConfigError(
+                "sketch dimensions must be positive "
+                f"(width={self.sketch_width}, depth={self.sketch_depth})"
+            )
+        if self.sketch_sample_size < 1:
+            raise CacheConfigError(
+                f"sketch_sample_size must be positive, "
+                f"got {self.sketch_sample_size}"
+            )
+        if self.min_budget_bytes < 1:
+            raise CacheConfigError(
+                f"min_budget_bytes must be positive (the floor must at "
+                f"least hold the sketch), got {self.min_budget_bytes}"
+            )
+        if not 0.0 < self.max_bound_fraction <= 1.0:
+            raise CacheConfigError(
+                f"max_bound_fraction must be in (0, 1], "
+                f"got {self.max_bound_fraction}"
+            )
+        if self.demand_gain <= 0:
+            raise CacheConfigError(
+                f"demand_gain must be positive, got {self.demand_gain}"
+            )
+        if size_bound_bytes is not None and (
+            self.budget_bytes >= size_bound_bytes
+        ):
+            raise CacheConfigError(
+                f"cache budget ({self.budget_bytes} B) must stay below "
+                f"the index soft bound ({size_bound_bytes} B) it competes "
+                "under"
+            )

@@ -61,9 +61,35 @@ class ElasticBPlusTree(BPlusTree):
     # Search hooks (expansion-state random splits, section 4)
     # ------------------------------------------------------------------
     def lookup(self, key: bytes) -> Optional[int]:
-        path, leaf = self.descend(key)
+        cache = self.cache
+        if cache is None:
+            path, leaf = self.descend(key)
+            leaf.access_count += 1
+            result = leaf.lookup(key)
+            self.controller.on_search_leaf(path, leaf)
+            self.controller.run_pending()
+            return result
+        tid = cache.probe_row(key)
+        if tid is not None:
+            # Cache hit: the tree is not touched, so no elasticity hooks
+            # fire — structure evolution may diverge from the uncached
+            # run, but results cannot.
+            return tid
+        epoch = self.structural_epoch
+        leaf = cache.probe_leaf(key, epoch)
+        if leaf is not None:
+            leaf.access_count += 1
+            result = leaf.lookup(key)
+            if result is not None and leaf.is_compact:
+                cache.admit_row(key, result)
+            self.controller.run_pending()
+            return result
+        path, leaf, lo, hi = self._descend_fenced(key)
         leaf.access_count += 1
         result = leaf.lookup(key)
+        cache.admit_leaf(lo, hi, leaf, epoch)
+        if result is not None and leaf.is_compact:
+            cache.admit_row(key, result)
         self.controller.on_search_leaf(path, leaf)
         self.controller.run_pending()
         return result
@@ -102,14 +128,27 @@ class ElasticBPlusTree(BPlusTree):
         results: List[Optional[int]] = [None] * len(keys)
         if not keys:
             return results
+        cache = self.cache
+        positions: List[int] = []
+        if cache is not None:
+            keys, positions = self._probe_batch(cache, keys, results)
+            if not keys:
+                self.controller.run_pending()
+                return results
         order, run = self._sorted_run(keys)
         visited: List[Tuple[LeafNode, int]] = []
         groups = self._partition_descend(run)
         for leaf, lo, hi in groups:
             leaf.access_count += hi - lo
             hits = leaf.lookup_batch(run[lo:hi])
+            compact = cache is not None and leaf.is_compact
             for offset, tid in enumerate(hits):
-                results[order[lo + offset]] = tid
+                position = order[lo + offset]
+                if cache is not None:
+                    position = positions[position]
+                results[position] = tid
+                if compact and tid is not None:
+                    cache.admit_row(run[lo + offset], tid)
             visited.append((leaf, hi - lo))
         self._emit_batch_descent("lookup", len(keys), len(groups))
         self._run_deferred_expansion(visited)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import CacheConfig, IndexCache
 from repro.engine import (
     BudgetArbiter,
     ShardedIndex,
@@ -12,7 +13,12 @@ from repro.engine import (
     largest_remainder,
     make_executor,
 )
-from repro.errors import IndexExistsError, InvalidBudgetError, ShardConfigError
+from repro.errors import (
+    CacheConfigError,
+    IndexExistsError,
+    InvalidBudgetError,
+    ShardConfigError,
+)
 from repro.exec import BatchExecutor
 from repro.keys.encoding import encode_f64, encode_i64, encode_str
 from repro.memory.allocator import TrackingAllocator
@@ -20,14 +26,6 @@ from repro.memory.cost_model import CostModel
 from repro.obs import Event, Observer
 from repro.registry import build_index
 from repro.table.table import RowSchema, Table
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"DBTable.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def _encode_column(value, ctype: str, width: int) -> bytes:
@@ -145,6 +143,7 @@ class DBTable:
         shards: int = 1,
         partitioner: str = "hash",
         parallel=False,
+        cache: Optional[CacheConfig] = None,
         **index_kwargs,
     ) -> SecondaryIndex:
         """Create an ordered secondary index over ``columns``.
@@ -161,12 +160,19 @@ class DBTable:
         parallel executor), a worker count, or a ready
         :class:`~repro.engine.ShardExecutor` instance.  Elastic indexes
         — sharded or not — enroll with the database's budget arbiter
-        when one is enabled.  Existing rows are back-filled.
+        when one is enabled.  A :class:`~repro.cache.CacheConfig` as
+        ``cache`` attaches a budget-aware adaptive read cache (one per
+        shard when sharded); elastic cached indexes also enroll the
+        cache with the budget arbiter, which then resizes the cache's
+        budget by observed hit-rate demand.  Existing rows are
+        back-filled.
         """
         if name in self.indexes:
             raise IndexExistsError(f"index {name!r} already exists")
         if shards < 1:
             raise ShardConfigError("shards must be >= 1")
+        if cache is not None:
+            cache.validate(size_bound_bytes)
         executor = make_executor(parallel)
         if executor is not None and shards == 1:
             raise ShardConfigError(
@@ -194,6 +200,15 @@ class DBTable:
                 size_bound_bytes=size_bound_bytes,
                 **index_kwargs,
             )
+            if cache is not None:
+                if not hasattr(index, "attach_cache"):
+                    raise CacheConfigError(
+                        f"index kind {kind!r} does not support adaptive "
+                        "caching"
+                    )
+                index.attach_cache(IndexCache(
+                    cache, name=f"{self.schema.name}.{name}.cache",
+                ))
         else:
             index = build_sharded_index(
                 kind,
@@ -205,6 +220,7 @@ class DBTable:
                 size_bound_bytes=size_bound_bytes,
                 name=f"{self.schema.name}.{name}",
                 executor=executor,
+                cache=cache,
                 **index_kwargs,
             )
         secondary.index = index
@@ -271,9 +287,8 @@ class DBTable:
     # ``scan`` / ``scan_batch`` for ranges.  Scans take ``count`` as a
     # keyword and ``include_rows=False`` turns a scan into an
     # included-column query (section 2) answered from index keys alone.
-    # The pre-redesign spellings (``get_many`` / ``scan_many`` /
-    # ``included_scan`` / positional scan counts) remain as thin
-    # DeprecationWarning shims.
+    # The pre-redesign ``*_many`` / ``included_scan`` shims are gone;
+    # only the positional scan count retains a DeprecationWarning shim.
 
     def get(self, index_name: str, values: Sequence[int]) -> Optional[Tuple]:
         """Point query through an index; returns the row or None."""
@@ -372,35 +387,6 @@ class DBTable:
             raise TypeError("scan requires count=<n>")
         return count
 
-    # ------------------------------------------------------------------
-    # Deprecated read spellings (pre-redesign surface)
-    # ------------------------------------------------------------------
-    def get_many(
-        self, index_name: str, values_batch: Sequence[Sequence[int]]
-    ) -> List[Optional[Tuple]]:
-        """Deprecated alias of :meth:`get_batch`."""
-        _deprecated("get_many", "get_batch")
-        return self.get_batch(index_name, values_batch)
-
-    def scan_many(
-        self,
-        index_name: str,
-        start_values_batch: Sequence[Sequence[int]],
-        count: int,
-    ) -> List[List[Tuple]]:
-        """Deprecated alias of :meth:`scan_batch` (positional count)."""
-        _deprecated("scan_many", "scan_batch")
-        return self.scan_batch(index_name, start_values_batch, count=count)
-
-    def included_scan(
-        self, index_name: str, start_values: Sequence[int], count: int
-    ) -> List[bytes]:
-        """Deprecated alias of :meth:`scan` with ``include_rows=False``."""
-        _deprecated("included_scan", "scan(..., include_rows=False)")
-        return self.scan(
-            index_name, start_values, count=count, include_rows=False
-        )
-
     def __len__(self) -> int:
         return len(self.table)
 
@@ -491,10 +477,16 @@ class Database:
             for shard in index.shards:
                 if shard.controller is not None:
                     self.arbiter.register(shard.name, shard.controller)
+                    if shard.cache is not None:
+                        self.arbiter.register_cache(shard.name, shard.cache)
             return
         controller = getattr(index, "controller", None)
         if controller is not None:
-            self.arbiter.register(f"{table_name}.{index_name}", controller)
+            label = f"{table_name}.{index_name}"
+            self.arbiter.register(label, controller)
+            cache = getattr(index, "cache", None)
+            if cache is not None:
+                self.arbiter.register_cache(label, cache)
 
     def _tick(self, ops: int) -> None:
         """Operation-boundary hook: drives periodic arbitration."""

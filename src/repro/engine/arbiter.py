@@ -33,7 +33,11 @@ from typing import Dict, List, Optional, Sequence
 from repro import obs
 from repro.errors import InvalidBudgetError, ShardConfigError
 from repro.memory.budget import PressureState
-from repro.obs import BudgetRebalanceEvent, ShardPressureEvent
+from repro.obs import (
+    BudgetRebalanceEvent,
+    CacheBudgetEvent,
+    ShardPressureEvent,
+)
 
 
 def largest_remainder(total: int, weights: Sequence[float]) -> List[int]:
@@ -72,6 +76,8 @@ class ArbiterStats:
     rebalances: int = 0
     skipped_small: int = 0
     bytes_moved: int = 0
+    cache_resizes: int = 0
+    cache_bytes_moved: int = 0
     #: Per-shard pressure-state samples: state value -> count.
     samples_by_state: Dict[str, int] = field(default_factory=dict)
 
@@ -116,6 +122,7 @@ class BudgetArbiter:
         self.stats = ArbiterStats()
         self._names: List[str] = []
         self._controllers: List = []
+        self._caches: Dict[str, object] = {}
         self._ops_since = 0
 
     # ------------------------------------------------------------------
@@ -132,6 +139,23 @@ class BudgetArbiter:
             raise ShardConfigError(f"shard {name!r} already registered")
         self._names.append(name)
         self._controllers.append(controller)
+
+    def register_cache(self, name: str, cache) -> None:
+        """Enroll a shard's adaptive cache for budget arbitration.
+
+        The cache's budget then tracks the shard's observed hit-rate
+        demand at every evaluation: high hit rates earn the cache a
+        larger share of the shard's soft bound, idle caches decay to
+        their configured floor.  Registration requires the shard itself
+        to be registered first.
+        """
+        if name not in self._names:
+            raise ShardConfigError(
+                f"cannot register cache for unknown shard {name!r}"
+            )
+        if name in self._caches:
+            raise ShardConfigError(f"shard {name!r} already has a cache")
+        self._caches[name] = cache
 
     @property
     def shard_names(self) -> List[str]:
@@ -193,6 +217,7 @@ class BudgetArbiter:
         ) // 2
         if moved < self.rebalance_fraction * self.total_bytes:
             self.stats.skipped_small += 1
+            self._adapt_caches()
             return False
 
         for controller, bound in zip(self._controllers, new_bounds):
@@ -210,7 +235,51 @@ class BudgetArbiter:
                 new_bounds=new_bounds,
                 states=[state.value for state in states],
             ))
+        self._adapt_caches()
         return True
+
+    def _adapt_caches(self) -> None:
+        """Resize registered caches toward their hit-rate-weighted demand.
+
+        Each adaptive cache's target budget is
+        ``bound * min(max_bound_fraction, window_hit_rate * demand_gain)``
+        floored at the cache's ``min_budget_bytes``; a resize is applied
+        only when it moves at least ``rebalance_fraction`` of the
+        shard's bound (same hysteresis discipline as shard bounds).
+        The window hit rate is consumed (reset) every evaluation, so the
+        demand signal is recent, not lifetime.
+        """
+        if not self._caches:
+            return
+        emit = obs.is_enabled()
+        for name, controller in zip(self._names, self._controllers):
+            cache = self._caches.get(name)
+            if cache is None or not cache.config.adaptive:
+                continue
+            probes, hits = cache.take_window()
+            rate = hits / probes if probes else 0.0
+            bound = controller.budget.soft_bound_bytes
+            config = cache.config
+            target = max(
+                config.min_budget_bytes,
+                int(bound * min(
+                    config.max_bound_fraction, rate * config.demand_gain
+                )),
+            )
+            current = cache.budget_bytes
+            if abs(target - current) < self.rebalance_fraction * bound:
+                continue
+            cache.set_budget(target)
+            self.stats.cache_resizes += 1
+            self.stats.cache_bytes_moved += abs(target - current)
+            if emit:
+                obs.emit(CacheBudgetEvent(
+                    shard=name,
+                    old_budget_bytes=current,
+                    new_budget_bytes=target,
+                    soft_bound_bytes=bound,
+                    hit_rate=rate,
+                ))
 
     def _apportion(
         self, sizes: Sequence[int], states: Sequence[PressureState]
@@ -237,11 +306,17 @@ class BudgetArbiter:
         out: List[Dict[str, object]] = []
         for name, controller in zip(self._names, self._controllers):
             size = controller.tree.index_bytes
-            out.append({
+            row: Dict[str, object] = {
                 "name": name,
                 "index_bytes": size,
                 "soft_bound_bytes": controller.budget.soft_bound_bytes,
                 "state": controller.state.value,
                 "headroom_bytes": controller.budget.headroom_bytes(size),
-            })
+            }
+            cache = self._caches.get(name)
+            if cache is not None:
+                row["cache_budget_bytes"] = cache.budget_bytes
+                row["cache_bytes"] = cache.bytes_used
+                row["cache_hit_rate"] = cache.hit_rate
+            out.append(row)
         return out

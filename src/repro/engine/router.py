@@ -257,6 +257,18 @@ class ShardedIndex:
             })
         return report
 
+    def caches(self) -> List:
+        """Adaptive caches of the shards that have one, in shard order."""
+        return [s.cache for s in self.shards if s.cache is not None]
+
+    def cache_report(self) -> List[Dict[str, object]]:
+        """Per-shard cache occupancy/hit-rate snapshot."""
+        return [
+            dict(shard.cache.report().as_dict(), shard=shard.name)
+            for shard in self.shards
+            if shard.cache is not None
+        ]
+
 
 def build_sharded_index(
     kind: str,
@@ -269,6 +281,7 @@ def build_sharded_index(
     size_bound_bytes: Optional[int] = None,
     name: str = "",
     executor: Optional[ShardExecutor] = None,
+    cache=None,
     **index_kwargs,
 ) -> ShardedIndex:
     """Build ``n_shards`` independent ``kind`` indexes behind one router.
@@ -279,6 +292,10 @@ def build_sharded_index(
     largest-remainder rounding — the static apportionment a
     :class:`~repro.engine.arbiter.BudgetArbiter` later overrides.
     ``executor`` selects the scatter/gather backend (default serial).
+    A :class:`~repro.cache.CacheConfig` as ``cache`` attaches one
+    adaptive cache per shard, splitting the configured budget across
+    shards the same way the soft bound is split; writes routed to a
+    shard invalidate that shard's cache through the tree write path.
     """
     from repro.memory.allocator import TrackingAllocator
     from repro.registry import build_index
@@ -290,6 +307,20 @@ def build_sharded_index(
         bounds = largest_remainder(size_bound_bytes, [1.0] * n_shards)
     else:
         bounds = [None] * n_shards
+    cache_budgets = [None] * n_shards
+    if cache is not None:
+        from dataclasses import replace
+
+        from repro.cache import IndexCache
+        from repro.engine.arbiter import largest_remainder
+        from repro.errors import CacheConfigError
+
+        cache.validate()
+        floor = cache.min_budget_bytes
+        per_shard = largest_remainder(
+            max(cache.budget_bytes, n_shards * floor), [1.0] * n_shards
+        )
+        cache_budgets = [max(b, floor) for b in per_shard]
     shards = []
     for shard_id in range(n_shards):
         allocator = TrackingAllocator(cost_model=cost)
@@ -303,5 +334,16 @@ def build_sharded_index(
             **index_kwargs,
         )
         label = f"{name}[{shard_id}]" if name else f"shard[{shard_id}]"
+        if cache is not None:
+            if not hasattr(index, "attach_cache"):
+                raise CacheConfigError(
+                    f"index kind {kind!r} does not support adaptive caching"
+                )
+            shard_config = replace(cache, budget_bytes=cache_budgets[shard_id])
+            if bounds[shard_id] is not None:
+                shard_config.validate(bounds[shard_id])
+            index.attach_cache(
+                IndexCache(shard_config, name=f"{label}.cache")
+            )
         shards.append(IndexShard(shard_id, index, allocator, name=label))
     return ShardedIndex(shards, part, executor=executor, cost=cost)

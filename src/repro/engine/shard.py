@@ -61,6 +61,21 @@ class IndexShard:
         return controller.budget.soft_bound_bytes
 
     @property
+    def cache(self):
+        """The shard index's adaptive cache, or None if not attached."""
+        return getattr(self.index, "cache", None)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Bytes held by the shard's adaptive cache."""
+        return self.allocator.bytes_in("cache")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        cache = self.cache
+        return cache.hit_rate if cache is not None else 0.0
+
+    @property
     def compact_bytes(self) -> int:
         """Bytes held in compact-leaf structures on this shard."""
         return self.allocator.bytes_in("leaf.compact")

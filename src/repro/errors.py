@@ -24,6 +24,10 @@ The concrete classes map to the layers that raise them:
   The parallel executor retries these with backoff; user code only sees
   one if it drives a :class:`~repro.engine.executor.ShardExecutor`
   directly.
+* :class:`CacheConfigError` — an adaptive-cache configuration that can
+  never help: non-positive budgets, a cache budget at or above the index
+  soft bound it is meant to compete under, malformed sketch/tier knobs
+  (``repro.cache``, ``repro.db``).
 * :class:`ExecutorSaturatedError` — the parallel executor's pool could
   not accept work.  Engine paths never propagate it (they degrade to
   the serial backend instead); direct executor users opt in with
@@ -58,7 +62,12 @@ class ExecutorSaturatedError(ReproError):
     """The parallel dispatch pool cannot accept more work right now."""
 
 
+class CacheConfigError(ReproError):
+    """An adaptive-cache configuration is invalid or cannot help."""
+
+
 __all__ = [
+    "CacheConfigError",
     "ExecutorSaturatedError",
     "IndexExistsError",
     "InvalidBudgetError",

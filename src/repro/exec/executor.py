@@ -22,21 +22,12 @@ native/fallback accounting.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.baselines.interface import OrderedIndex
 from repro.obs import BatchDispatchEvent
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"BatchExecutor.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass
@@ -47,6 +38,9 @@ class BatchStats:
     ops: int = 0
     native_batches: int = 0
     fallback_batches: int = 0
+    #: Point queries answered from the index's adaptive row cache
+    #: before any descent was paid (0 when no cache is attached).
+    cache_hits: int = 0
     by_kind: dict = field(default_factory=dict)
 
     def record(self, kind: str, ops: int, native: bool) -> None:
@@ -109,12 +103,32 @@ class BatchExecutor:
         if obs.is_enabled():
             obs.emit(BatchDispatchEvent(op=kind, ops=ops, native=native))
 
+    def _caches(self) -> List:
+        """Adaptive caches behind the index (0, 1, or one per shard)."""
+        caches = getattr(self.index, "caches", None)
+        if caches is not None:
+            return caches()
+        cache = getattr(self.index, "cache", None)
+        return [cache] if cache is not None else []
+
     def get_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
-        """Point-query a batch; results align with the input order."""
+        """Point-query a batch; results align with the input order.
+
+        When the index carries an adaptive cache, the whole batch is
+        row-probed before any descent (inside the index's
+        ``lookup_batch``); the hits it absorbed are surfaced on
+        :attr:`stats` as ``cache_hits``.
+        """
+        caches = self._caches()
+        hits_before = sum(c.stats.row_hits for c in caches)
         out: List[Optional[int]] = []
         for chunk in self._chunks(keys):
             self._record("get", len(chunk))
             out.extend(self.index.lookup_batch(chunk))
+        if caches:
+            self.stats.cache_hits += (
+                sum(c.stats.row_hits for c in caches) - hits_before
+            )
         return out
 
     def insert_batch(
@@ -141,32 +155,6 @@ class BatchExecutor:
             self._record("scan", len(chunk))
             out.extend(self.index.scan_batch(chunk, count))
         return out
-
-    # ------------------------------------------------------------------
-    # Deprecated batch spellings (pre-redesign surface)
-    # ------------------------------------------------------------------
-    # The executor now uses the same ``*_batch`` vocabulary as the
-    # database read surface and the OrderedIndex protocol; the old
-    # ``*_many`` names remain as thin DeprecationWarning shims.
-
-    def get_many(self, keys: Sequence[bytes]) -> List[Optional[int]]:
-        """Deprecated alias of :meth:`get_batch`."""
-        _deprecated("get_many", "get_batch")
-        return self.get_batch(keys)
-
-    def insert_many(
-        self, pairs: Sequence[Tuple[bytes, int]]
-    ) -> List[Optional[int]]:
-        """Deprecated alias of :meth:`insert_batch`."""
-        _deprecated("insert_many", "insert_batch")
-        return self.insert_batch(pairs)
-
-    def range_many(
-        self, start_keys: Sequence[bytes], count: int
-    ) -> List[List[Tuple[bytes, int]]]:
-        """Deprecated alias of :meth:`scan_batch`."""
-        _deprecated("range_many", "scan_batch")
-        return self.scan_batch(start_keys, count)
 
     # ------------------------------------------------------------------
     def _chunks(self, items: Sequence):

@@ -65,6 +65,11 @@ class TrackingAllocator:
             return jemalloc_size_class(nbytes)
         return nbytes
 
+    def charged_size(self, nbytes: int) -> int:
+        """The bytes :meth:`allocate` would charge for ``nbytes``,
+        without allocating (capacity planning against a byte budget)."""
+        return self._rounded(nbytes)
+
     def allocate(self, nbytes: int, category: str = "default") -> int:
         """Record an allocation; returns the rounded (charged) size."""
         if nbytes < 0:

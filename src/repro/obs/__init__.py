@@ -38,6 +38,8 @@ from repro.obs.events import (
     BatchDispatchEvent,
     BreathingResizeEvent,
     BudgetRebalanceEvent,
+    CacheBudgetEvent,
+    CacheEvent,
     CapacityChangeEvent,
     Event,
     EventBus,
@@ -74,6 +76,8 @@ __all__ = [
     "BatchDispatchEvent",
     "BreathingResizeEvent",
     "BudgetRebalanceEvent",
+    "CacheBudgetEvent",
+    "CacheEvent",
     "CapacityChangeEvent",
     "Counter",
     "DEFAULT_COST_BUCKETS",

@@ -309,6 +309,41 @@ class ShardPressureEvent(Event):
     headroom_bytes: int = 0
 
 
+@dataclass
+class CacheEvent(Event):
+    """One adaptive-cache action (:mod:`repro.cache`).
+
+    ``action`` is ``"hit"``, ``"miss"``, ``"admit"``, ``"evict"`` or
+    ``"invalidate"``; ``tier`` is ``"row"`` (hot-row tuple ids) or
+    ``"descent"`` (fence-interval -> leaf).  ``entries`` carries the
+    tier's entry count for admissions and the number of entries dropped
+    for wholesale invalidations (0 where not meaningful).
+    """
+
+    kind: ClassVar[str] = "cache"
+    name: str = ""
+    action: str = ""
+    tier: str = ""
+    entries: int = 0
+
+
+@dataclass
+class CacheBudgetEvent(Event):
+    """The budget arbiter resized one shard's cache budget.
+
+    Emitted per applied resize: the arbiter maps the cache's window hit
+    rate to a target share of the shard's soft bound (floored and
+    hysteresis-gated like shard bounds themselves).
+    """
+
+    kind: ClassVar[str] = "cache_budget"
+    shard: str = ""
+    old_budget_bytes: int = 0
+    new_budget_bytes: int = 0
+    soft_bound_bytes: int = 0
+    hit_rate: float = 0.0
+
+
 class EventBus:
     """A tiny synchronous publish/subscribe hub.
 

@@ -22,6 +22,8 @@ from repro.obs.events import (
     BatchDispatchEvent,
     BreathingResizeEvent,
     BudgetRebalanceEvent,
+    CacheBudgetEvent,
+    CacheEvent,
     CapacityChangeEvent,
     Event,
     EventBus,
@@ -164,6 +166,21 @@ class Observer:
             "Cost units hidden behind parallel critical paths "
             "(serial sum minus critical path, accumulated).",
         )
+        self._cache_events = reg.counter(
+            "repro_cache_events_total",
+            "Adaptive-cache actions by cache name, action and tier.",
+        )
+        self._cache_hit_rate = reg.gauge(
+            "repro_cache_hit_rate",
+            "Running hit rate (either tier) per cache, from bus events.",
+        )
+        self._cache_budget = reg.gauge(
+            "repro_cache_budget_bytes",
+            "Per-shard cache budget as of the most recent arbiter resize.",
+        )
+        #: Running (hits, lookups) tallies per cache name feeding the
+        #: hit-rate gauge; lookups = row-tier probes (hit + miss).
+        self._cache_tallies: dict = {}
 
     def _on_event(self, event: Event) -> None:
         if len(self.events) == self.events.maxlen:
@@ -223,6 +240,25 @@ class Observer:
             self._shard_hedges.inc(winner=event.winner)
         elif isinstance(event, ExecutorDegradeEvent):
             self._executor_degrades.inc(reason=event.reason)
+        elif isinstance(event, CacheEvent):
+            self._cache_events.inc(
+                name=event.name, action=event.action, tier=event.tier
+            )
+            if event.action in ("hit", "miss"):
+                hits, lookups = self._cache_tallies.get(event.name, (0, 0))
+                if event.action == "hit":
+                    hits += 1
+                if event.tier == "row":
+                    lookups += 1
+                self._cache_tallies[event.name] = (hits, lookups)
+                if lookups:
+                    self._cache_hit_rate.set(
+                        hits / lookups, name=event.name
+                    )
+        elif isinstance(event, CacheBudgetEvent):
+            self._cache_budget.set(
+                event.new_budget_bytes, shard=event.shard
+            )
         elif isinstance(event, ParallelGatherEvent):
             self._parallel_serial_sum.set(event.serial_sum_units)
             self._parallel_critical_path.set(event.critical_path_units)

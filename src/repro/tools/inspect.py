@@ -1,7 +1,8 @@
-"""Structure inspection: ASCII dumps and leaf histograms.
+"""Structure inspection: ASCII dumps, leaf histograms, cache summaries.
 
 Debugging/ops aids for the elastic trees: visualize which regions of the
-key space are compacted, at what capacity, and how full the leaves are.
+key space are compacted, at what capacity, how full the leaves are, and
+what each shard's adaptive cache is doing with its budget share.
 """
 
 from __future__ import annotations
@@ -42,6 +43,16 @@ def dump_tree(tree: BPlusTree, max_leaves: int = 40) -> str:
         f"B+-tree: {len(tree)} items, height {tree.height}, "
         f"{format_size(tree.index_bytes)}"
     ]
+    cache = getattr(tree, "cache", None)
+    if cache is not None:
+        report = cache.report()
+        lines.append(
+            f"cache: {report.row_entries}/{report.row_capacity} rows, "
+            f"{report.desc_entries}/{report.desc_capacity} descents, "
+            f"{format_size(report.bytes_used)} of "
+            f"{format_size(report.budget_bytes)} budget, "
+            f"hit rate {report.hit_rate * 100:.1f}%"
+        )
     emitted = 0
 
     def walk(node, depth: int) -> None:
@@ -65,6 +76,45 @@ def dump_tree(tree: BPlusTree, max_leaves: int = 40) -> str:
                 lines.append(f"{indent}{_leaf_label(node)}")
 
     walk(tree.root, 0)
+    return "\n".join(lines)
+
+
+def cache_summary(index) -> str:
+    """Per-shard adaptive-cache table: occupancy, hit rate, budget share.
+
+    Accepts an unsharded tree (one row) or a
+    :class:`~repro.engine.ShardedIndex` (one row per shard).  The budget
+    share column relates the cache's budget to the shard's soft bound —
+    the fraction of elastic memory the cache is currently winning from
+    the leaves.
+    """
+    shards = getattr(index, "shards", None)
+    if shards is None:
+        pairs = [("index", index)]
+    else:
+        pairs = [(shard.name, shard.index) for shard in shards]
+    lines = [
+        f"{'shard':<12} {'rows':>11} {'descents':>9} {'bytes':>10} "
+        f"{'hit rate':>8} {'bound share':>11}"
+    ]
+    for name, tree in pairs:
+        cache = getattr(tree, "cache", None)
+        if cache is None:
+            lines.append(f"{name:<12} {'(no cache)':>11}")
+            continue
+        report = cache.report()
+        controller = getattr(tree, "controller", None)
+        if controller is not None:
+            bound = controller.budget.soft_bound_bytes
+            share = f"{report.budget_bytes / bound * 100:.1f}%"
+        else:
+            share = "-"
+        lines.append(
+            f"{name:<12} {report.row_entries:>5}/{report.row_capacity:<5} "
+            f"{report.desc_entries:>4}/{report.desc_capacity:<4} "
+            f"{format_size(report.bytes_used):>10} "
+            f"{report.hit_rate * 100:>7.1f}% {share:>11}"
+        )
     return "\n".join(lines)
 
 

@@ -275,21 +275,13 @@ def test_batch_insert_cost_never_exceeds_scalar():
 
 
 # ----------------------------------------------------------------------
-# Deprecated *_many spellings: warn, then delegate
+# Deprecated *_many spellings: removed for good
 # ----------------------------------------------------------------------
-def test_deprecated_many_spellings_warn_and_delegate():
-    env, values = _loaded_env("stx", 200)
+def test_deprecated_many_spellings_are_gone():
+    env, _ = _loaded_env("stx", 50)
     executor = BatchExecutor(env.index, max_batch=64)
-    queries = [encode_u64(v) for v in values[:50]]
-    with pytest.warns(DeprecationWarning, match="get_many is deprecated"):
-        assert executor.get_many(queries) == executor.get_batch(queries)
-    with pytest.warns(DeprecationWarning, match="range_many is deprecated"):
-        assert executor.range_many(queries[:5], 4) == executor.scan_batch(
-            queries[:5], 4
-        )
-    pairs = _pairs(env, _mint_values(random.Random(71), 20))
-    with pytest.warns(DeprecationWarning, match="insert_many is deprecated"):
-        assert executor.insert_many(pairs) == [None] * len(pairs)
+    for name in ("get_many", "insert_many", "range_many"):
+        assert not hasattr(executor, name), name
 
 
 # ----------------------------------------------------------------------

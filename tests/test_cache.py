@@ -1,0 +1,598 @@
+"""Tests of the budget-aware adaptive cache (:mod:`repro.cache`).
+
+Covers the frequency sketch, config validation, the two cache tiers
+(row and leaf-descent), epoch invalidation against structural change,
+budget accounting through the tracking allocator, arbiter-driven
+resizing, observability, and — the load-bearing property — that a
+cached index returns byte-identical results to an uncached one under
+mixed churn, sharded or not.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.bench.harness import make_u64_environment
+from repro.cache import CacheConfig, FrequencySketch, IndexCache
+from repro.db.database import Database
+from repro.engine.arbiter import BudgetArbiter
+from repro.errors import CacheConfigError, ShardConfigError
+from repro.keys.encoding import encode_u64
+from repro.memory.allocator import TrackingAllocator
+from repro.memory.cost_model import CostModel
+from repro.table.table import RowSchema
+
+from tests.conftest import U64Source
+from tests.test_elastic import fill, make_elastic
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_between_tests():
+    obs.set_enabled(False)
+    yield
+    obs.set_enabled(False)
+
+
+def make_bound_cache(budget=8192, **config_kwargs):
+    """An IndexCache bound to a fresh allocator/cost pair."""
+    config_kwargs.setdefault("sketch_width", 64)
+    cost = CostModel()
+    alloc = TrackingAllocator(cost_model=cost)
+    cache = IndexCache(CacheConfig(budget_bytes=budget, **config_kwargs))
+    cache.bind(alloc, cost, key_width=8)
+    return cache, alloc, cost
+
+
+# ----------------------------------------------------------------------
+# Frequency sketch
+# ----------------------------------------------------------------------
+class TestFrequencySketch:
+    def test_deterministic_across_instances(self):
+        a = FrequencySketch(width=128, depth=4)
+        b = FrequencySketch(width=128, depth=4)
+        keys = [encode_u64(v) for v in range(50)]
+        for key in keys:
+            for _ in range(3):
+                a.record(key)
+                b.record(key)
+        assert [a.estimate(k) for k in keys] == [b.estimate(k) for k in keys]
+
+    def test_estimates_track_frequency(self):
+        sketch = FrequencySketch(width=1024, depth=4)
+        hot, cold = encode_u64(1), encode_u64(2)
+        for _ in range(9):
+            sketch.record(hot)
+        sketch.record(cold)
+        assert sketch.estimate(hot) >= 9
+        assert sketch.estimate(hot) > sketch.estimate(cold)
+
+    def test_counters_saturate_at_15(self):
+        sketch = FrequencySketch(width=64, depth=2)
+        key = encode_u64(7)
+        for _ in range(100):
+            sketch.record(key)
+        assert sketch.estimate(key) == 15
+
+    def test_aging_halves_counts(self):
+        sketch = FrequencySketch(width=256, depth=4, sample_size=16)
+        key = encode_u64(3)
+        for _ in range(10):
+            sketch.record(key)
+        before = sketch.estimate(key)
+        # Push the sample count to the aging threshold with other keys.
+        for v in range(100, 106):
+            sketch.record(encode_u64(v))
+        assert sketch.estimate(key) <= (before + 1) // 2 + 1
+        assert sketch.estimate(key) < before
+
+    def test_width_rounds_to_power_of_two(self):
+        assert FrequencySketch(width=100).width == 128
+        assert FrequencySketch(width=64).width == 64
+
+    def test_clear(self):
+        sketch = FrequencySketch(width=64)
+        key = encode_u64(5)
+        sketch.record(key)
+        sketch.clear()
+        assert sketch.estimate(key) == 0
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+class TestCacheConfig:
+    def test_defaults_validate(self):
+        CacheConfig().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"budget_bytes": 0},
+        {"budget_bytes": -1},
+        {"row_fraction": 0.0},
+        {"row_fraction": 1.0},
+        {"sketch_width": 0},
+        {"sketch_depth": 0},
+        {"sketch_sample_size": 0},
+        {"min_budget_bytes": 0},
+        {"max_bound_fraction": 0.0},
+        {"max_bound_fraction": 1.5},
+        {"demand_gain": 0.0},
+    ])
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(**kwargs).validate()
+
+    def test_budget_must_fit_under_bound(self):
+        config = CacheConfig(budget_bytes=1 << 20)
+        with pytest.raises(CacheConfigError):
+            config.validate(size_bound_bytes=1 << 20)
+        config.validate(size_bound_bytes=1 << 21)
+
+    def test_cache_error_is_repro_error(self):
+        from repro.errors import ReproError
+
+        assert issubclass(CacheConfigError, ReproError)
+        assert issubclass(CacheConfigError, ValueError)
+
+
+# ----------------------------------------------------------------------
+# Row tier
+# ----------------------------------------------------------------------
+class TestRowTier:
+    def test_probe_miss_then_hit(self):
+        cache, _, cost = make_bound_cache()
+        key = encode_u64(1)
+        assert cache.probe_row(key) is None
+        cache.admit_row(key, 42)
+        assert cache.probe_row(key) == 42
+        assert cache.stats.row_hits == 1
+        assert cache.stats.row_misses == 1
+        assert cost.counts.get("cache_hit") == 2  # every probe charges
+
+    def test_tid_zero_is_a_hit(self):
+        cache, _, _ = make_bound_cache()
+        key = encode_u64(9)
+        cache.admit_row(key, 0)
+        assert cache.probe_row(key) == 0
+
+    def test_invalidate_row(self):
+        cache, _, _ = make_bound_cache()
+        key = encode_u64(1)
+        cache.admit_row(key, 42)
+        cache.invalidate_row(key)
+        assert cache.probe_row(key) is None
+        assert cache.stats.row_invalidations == 1
+
+    def test_admit_updates_in_place(self):
+        cache, _, _ = make_bound_cache()
+        key = encode_u64(1)
+        cache.admit_row(key, 1)
+        cache.admit_row(key, 2)
+        assert cache.probe_row(key) == 2
+        assert cache.report().row_entries == 1
+
+    def test_tinylfu_rejects_cold_admits_hot(self):
+        cache, _, _ = make_bound_cache(budget=4096)
+        capacity = cache.report().row_capacity
+        for v in range(capacity):
+            cache.admit_row(encode_u64(v), v)
+        assert cache.report().row_entries == capacity
+
+        # A never-probed newcomer cannot displace anything.
+        cold = encode_u64(10_000)
+        cache.admit_row(cold, 1)
+        assert cache.stats.row_rejects == 1
+        assert cache.probe_row(cold) is None
+
+        # A frequently probed newcomer displaces the LRU victim.
+        hot = encode_u64(10_001)
+        for _ in range(4):
+            cache.probe_row(hot)  # misses, but the sketch learns it
+        cache.admit_row(hot, 7)
+        assert cache.probe_row(hot) == 7
+        assert cache.stats.row_evictions == 1
+        assert cache.report().row_entries == capacity
+
+    def test_eviction_takes_least_recently_used(self):
+        cache, _, _ = make_bound_cache(budget=4096)
+        capacity = cache.report().row_capacity
+        for v in range(capacity):
+            cache.admit_row(encode_u64(v), v)
+        # Touch everything except key 0, making it the LRU entry.
+        for v in range(1, capacity):
+            assert cache.probe_row(encode_u64(v)) == v
+        hot = encode_u64(77_777)
+        for _ in range(4):
+            cache.probe_row(hot)
+        cache.admit_row(hot, 1)
+        assert cache.probe_row(encode_u64(0)) is None
+        assert cache.probe_row(encode_u64(1)) == 1
+
+
+# ----------------------------------------------------------------------
+# Descent tier and epochs
+# ----------------------------------------------------------------------
+class TestDescentTier:
+    def test_interval_probe(self):
+        cache, _, _ = make_bound_cache()
+        leaf = object()
+        cache.admit_leaf(encode_u64(10), encode_u64(20), leaf, epoch=0)
+        assert cache.probe_leaf(encode_u64(10), 0) is leaf
+        assert cache.probe_leaf(encode_u64(15), 0) is leaf
+        assert cache.probe_leaf(encode_u64(20), 0) is None  # hi exclusive
+        assert cache.probe_leaf(encode_u64(5), 0) is None
+
+    def test_unbounded_edges(self):
+        cache, _, _ = make_bound_cache()
+        first, last = object(), object()
+        cache.admit_leaf(None, encode_u64(10), first, epoch=0)
+        cache.admit_leaf(encode_u64(90), None, last, epoch=0)
+        assert cache.probe_leaf(encode_u64(0), 0) is first
+        assert cache.probe_leaf(encode_u64(10**6), 0) is last
+
+    def test_epoch_mismatch_clears_tier(self):
+        cache, _, _ = make_bound_cache()
+        cache.admit_leaf(encode_u64(10), encode_u64(20), object(), epoch=0)
+        assert cache.probe_leaf(encode_u64(15), 1) is None
+        assert cache.stats.epoch_clears == 1
+        assert cache.report().desc_entries == 0
+
+    def test_stale_epoch_admission_cannot_serve(self):
+        cache, _, _ = make_bound_cache()
+        stale = object()
+        # Admitted under epoch 0, probed under epoch 1: cleared, and the
+        # fresh entry admitted under 1 then serves.
+        cache.admit_leaf(encode_u64(10), encode_u64(20), stale, epoch=0)
+        assert cache.probe_leaf(encode_u64(15), 1) is None
+        fresh = object()
+        cache.admit_leaf(encode_u64(10), encode_u64(20), fresh, epoch=1)
+        assert cache.probe_leaf(encode_u64(15), 1) is fresh
+
+
+# ----------------------------------------------------------------------
+# Budget accounting
+# ----------------------------------------------------------------------
+class TestBudgetAccounting:
+    def test_entries_charge_the_cache_category(self):
+        cache, alloc, _ = make_bound_cache()
+        sketch_bytes = alloc.bytes_in("cache")
+        assert sketch_bytes > 0  # the sketch itself is charged at bind
+        for v in range(64):
+            cache.admit_row(encode_u64(v), v)
+        assert alloc.bytes_in("cache") > sketch_bytes
+        assert cache.bytes_used == alloc.bytes_in("cache")
+
+    def test_set_budget_down_evicts(self):
+        cache, alloc, _ = make_bound_cache(budget=16384)
+        for v in range(cache.report().row_capacity):
+            cache.admit_row(encode_u64(v), v)
+        used = cache.bytes_used
+        cache.set_budget(4096)
+        assert cache.budget_bytes == 4096
+        assert cache.report().row_entries <= cache.report().row_capacity
+        assert cache.bytes_used <= used
+        assert cache.bytes_used <= 4096
+
+    def test_set_budget_floors_at_min(self):
+        cache, _, _ = make_bound_cache(budget=16384, min_budget_bytes=8192)
+        cache.set_budget(100)
+        assert cache.budget_bytes == 8192
+
+    def test_clear_keeps_reservations(self):
+        cache, alloc, _ = make_bound_cache()
+        for v in range(8):
+            cache.admit_row(encode_u64(v), v)
+        held = alloc.bytes_in("cache")
+        cache.clear()
+        assert cache.report().row_entries == 0
+        assert alloc.bytes_in("cache") == held  # arena retained
+
+    def test_double_bind_raises(self):
+        cache, alloc, cost = make_bound_cache()
+        with pytest.raises(CacheConfigError):
+            cache.bind(alloc, cost, key_width=8)
+
+    def test_take_window_resets(self):
+        cache, _, _ = make_bound_cache()
+        key = encode_u64(1)
+        cache.admit_row(key, 1)
+        cache.probe_row(key)
+        cache.probe_row(encode_u64(2))
+        assert cache.take_window() == (2, 1)
+        assert cache.take_window() == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Tree integration: correctness under churn
+# ----------------------------------------------------------------------
+def attach_small_cache(index, budget=32 * 1024):
+    cache = IndexCache(CacheConfig(budget_bytes=budget, sketch_width=256))
+    index.attach_cache(cache)
+    return cache
+
+
+class TestTreeIntegration:
+    def run_differential(self, builder, n=3000, seed=11):
+        """Identical mixed churn against cached and uncached twins."""
+        plain_env, plain = builder(), None
+        cached_env = builder()
+        cache = attach_small_cache(cached_env.index)
+        rng = random.Random(seed)
+        live = []
+        tid_plain, tid_cached = {}, {}
+
+        def add(env, tids, v):
+            tid = env.table.insert_row(v)
+            env.index.insert(encode_u64(v), tid)
+            tids[v] = tid
+
+        for step in range(6 * n):
+            action = rng.random()
+            if action < 0.4 or not live:
+                v = rng.getrandbits(24)
+                if v in tid_plain:
+                    continue
+                add(plain_env, tid_plain, v)
+                add(cached_env, tid_cached, v)
+                live.append(v)
+            elif action < 0.5:
+                v = live.pop(rng.randrange(len(live)))
+                assert plain_env.index.remove(encode_u64(v)) is not None
+                assert cached_env.index.remove(encode_u64(v)) is not None
+                del tid_plain[v], tid_cached[v]
+            else:
+                # Skewed probes: mostly hot prefix, some misses.
+                if rng.random() < 0.8:
+                    v = live[rng.randrange(min(len(live), 50))]
+                else:
+                    v = rng.getrandbits(24)
+                got_p = plain_env.index.lookup(encode_u64(v))
+                got_c = cached_env.index.lookup(encode_u64(v))
+                assert (got_p is None) == (got_c is None), v
+                assert got_p == tid_plain.get(v), v
+                assert got_c == tid_cached.get(v), v
+        assert cache.stats.hits > 0
+        return cache
+
+    def test_btree_differential_churn(self):
+        self.run_differential(
+            lambda: make_u64_environment("stx"), n=1500
+        )
+
+    def test_elastic_differential_churn_under_pressure(self):
+        def builder():
+            source = U64Source()
+            tree = make_elastic(source, size_bound=40_000)
+            class Env:  # match the IndexEnv attribute surface
+                index = tree
+                table = source.table
+            return Env()
+
+        cache = self.run_differential(builder, n=2500, seed=7)
+        # Pressure must actually have produced structural churn for the
+        # epoch machinery to have been exercised.
+        assert cache.stats.epoch_clears > 0
+
+    def test_batch_lookup_differential(self):
+        # Elastic under pressure: compact leaves make batch lookups
+        # admit rows, so the second pass over the same batch hits.
+        plain_src, cached_src = U64Source(), U64Source()
+        plain = make_elastic(plain_src, size_bound=40_000)
+        cached = make_elastic(cached_src, size_bound=40_000)
+        attach_small_cache(cached)
+        rng = random.Random(3)
+        values = rng.sample(range(1 << 24), 4000)
+        for v in values:
+            plain.insert(*plain_src.add(v))
+            cached.insert(*cached_src.add(v))
+        zipf_like = values[:40] * 20 + rng.sample(values, 1000)
+        rng.shuffle(zipf_like)
+        keys = [encode_u64(v) for v in zipf_like]
+        for _ in range(2):
+            assert cached.lookup_batch(keys) == plain.lookup_batch(keys)
+        assert cached.cache.stats.hits > 0
+
+    def test_structural_epoch_bumps_on_split(self):
+        env = make_u64_environment("stx")
+        before = env.index.structural_epoch
+        for v in range(2000):
+            tid = env.table.insert_row(v)
+            env.index.insert(encode_u64(v), tid)
+        assert env.index.structural_epoch > before
+
+    def test_zero_overhead_when_cache_off(self):
+        env = make_u64_environment("stx")
+        rng = random.Random(5)
+        for v in range(2000):
+            tid = env.table.insert_row(v)
+            env.index.insert(encode_u64(v), tid)
+        for _ in range(2000):
+            env.index.lookup(encode_u64(rng.randrange(2500)))
+        assert "cache_hit" not in env.cost.counts
+        assert env.allocator.bytes_in("cache") == 0
+
+
+# ----------------------------------------------------------------------
+# Database / sharded differential
+# ----------------------------------------------------------------------
+class TestDatabaseIntegration:
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("partitioner", ["hash", "range"])
+    def test_sharded_differential(self, shards, partitioner):
+        def make(cache):
+            db = Database()
+            t = db.create_table(
+                RowSchema("ev", ("k", "v"), (8, 8), ("u64", "u64"))
+            )
+            t.create_index(
+                "by_k", ("k",), kind="elastic",
+                size_bound_bytes=60_000, shards=shards,
+                partitioner=partitioner,
+                cache=cache,
+            )
+            return t
+
+        plain = make(None)
+        cached = make(CacheConfig(budget_bytes=16 * 1024, sketch_width=256))
+        rng = random.Random(13)
+        values = rng.sample(range(1 << 30), 3000)
+        for v in values:
+            plain.insert((v, v ^ 0xFF))
+            cached.insert((v, v ^ 0xFF))
+        probes = [(values[i % 64],) for i in range(800)]
+        probes += [(rng.getrandbits(30),) for _ in range(200)]
+        for probe in probes:
+            assert cached.get("by_k", probe) == plain.get("by_k", probe)
+        assert cached.get_batch("by_k", probes) == plain.get_batch(
+            "by_k", probes
+        )
+        starts = [(values[i],) for i in range(0, 512, 8)]
+        assert cached.scan_batch("by_k", starts, count=16) == \
+            plain.scan_batch("by_k", starts, count=16)
+
+    def test_create_index_rejects_uncacheable_kind(self):
+        db = Database()
+        t = db.create_table(RowSchema("t", ("k", "v"), (8, 8)))
+        with pytest.raises(CacheConfigError):
+            t.create_index(
+                "by_k", ("k",), kind="art",
+                cache=CacheConfig(budget_bytes=8192),
+            )
+
+    def test_create_index_validates_cache_against_bound(self):
+        db = Database()
+        t = db.create_table(RowSchema("t", ("k", "v"), (8, 8)))
+        with pytest.raises(CacheConfigError):
+            t.create_index(
+                "by_k", ("k",), kind="elastic", size_bound_bytes=8192,
+                cache=CacheConfig(budget_bytes=8192),
+            )
+
+    def test_sharded_caches_split_budget(self):
+        db = Database()
+        t = db.create_table(RowSchema("t", ("k", "v"), (8, 8)))
+        idx = t.create_index(
+            "by_k", ("k",), kind="elastic", size_bound_bytes=1 << 20,
+            shards=4, cache=CacheConfig(budget_bytes=64 * 1024),
+        )
+        caches = idx.index.caches()
+        assert len(caches) == 4
+        assert sum(c.budget_bytes for c in caches) >= 64 * 1024
+        report = idx.index.cache_report()
+        assert {row["shard"] for row in report} == {
+            s.name for s in idx.index.shards
+        }
+
+
+# ----------------------------------------------------------------------
+# Arbiter-driven resizing
+# ----------------------------------------------------------------------
+class TestArbiterCachePolicy:
+    def make_registered(self):
+        source = U64Source()
+        tree = make_elastic(source, size_bound=1 << 20)
+        fill(tree, source, 500)
+        cache = attach_small_cache(tree, budget=8192)
+        arbiter = BudgetArbiter(total_bytes=1 << 20, min_bound_bytes=4096)
+        arbiter.register("s0", tree.controller)
+        arbiter.register_cache("s0", cache)
+        return tree, cache, arbiter
+
+    def test_register_requires_known_shard(self):
+        arbiter = BudgetArbiter(total_bytes=1 << 20)
+        with pytest.raises(ShardConfigError):
+            arbiter.register_cache("ghost", object())
+
+    def test_register_rejects_duplicates(self):
+        tree, cache, arbiter = self.make_registered()
+        with pytest.raises(ShardConfigError):
+            arbiter.register_cache("s0", cache)
+
+    def test_hot_cache_grows_idle_cache_decays(self):
+        tree, cache, arbiter = self.make_registered()
+        key = encode_u64(1)
+        cache.admit_row(key, 1)
+        for _ in range(500):
+            cache.probe_row(key)
+        arbiter.rebalance()
+        grown = cache.budget_bytes
+        assert grown > 8192
+        assert arbiter.stats.cache_resizes == 1
+        bound = tree.controller.budget.soft_bound_bytes
+        assert grown <= bound * cache.config.max_bound_fraction
+        # No probes in the next window: demand gone, decay to the floor.
+        arbiter.rebalance()
+        assert cache.budget_bytes == cache.config.min_budget_bytes
+        assert arbiter.stats.cache_resizes == 2
+
+    def test_non_adaptive_cache_is_left_alone(self):
+        source = U64Source()
+        tree = make_elastic(source, size_bound=1 << 20)
+        cache = IndexCache(CacheConfig(
+            budget_bytes=8192, sketch_width=256, adaptive=False,
+        ))
+        tree.attach_cache(cache)
+        arbiter = BudgetArbiter(total_bytes=1 << 20)
+        arbiter.register("s0", tree.controller)
+        arbiter.register_cache("s0", cache)
+        key = encode_u64(1)
+        cache.admit_row(key, 1)
+        for _ in range(500):
+            cache.probe_row(key)
+        arbiter.rebalance()
+        assert cache.budget_bytes == 8192
+        assert arbiter.stats.cache_resizes == 0
+
+    def test_report_includes_cache_columns(self):
+        tree, cache, arbiter = self.make_registered()
+        row = arbiter.report()[0]
+        assert row["cache_budget_bytes"] == cache.budget_bytes
+        assert "cache_hit_rate" in row
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestCacheObservability:
+    def test_events_and_metrics(self):
+        with obs.enabled():
+            observer = obs.Observer()
+            cache, _, _ = make_bound_cache()
+            key = encode_u64(1)
+            cache.probe_row(key)        # miss
+            cache.admit_row(key, 1)     # admit
+            cache.probe_row(key)        # hit
+            cache.invalidate_row(key)   # invalidate
+        actions = {
+            (e.action, e.tier) for e in observer.events
+            if e.kind == "cache"
+        }
+        assert {("miss", "row"), ("admit", "row"), ("hit", "row"),
+                ("invalidate", "row")} <= actions
+        counter = observer.registry.get("repro_cache_events_total")
+        assert counter.value(
+            name="cache", action="hit", tier="row") == 1
+        gauge = observer.registry.get("repro_cache_hit_rate")
+        assert gauge.value(name="cache") == 0.5
+
+    def test_budget_events(self):
+        with obs.enabled():
+            observer = obs.Observer()
+            source = U64Source()
+            tree = make_elastic(source, size_bound=1 << 20)
+            cache = attach_small_cache(tree, budget=8192)
+            arbiter = BudgetArbiter(total_bytes=1 << 20)
+            arbiter.register("s0", tree.controller)
+            arbiter.register_cache("s0", cache)
+            key = encode_u64(1)
+            cache.admit_row(key, 1)
+            for _ in range(200):
+                cache.probe_row(key)
+            arbiter.rebalance()
+        budget_events = [
+            e for e in observer.events if e.kind == "cache_budget"
+        ]
+        assert budget_events and budget_events[0].shard == "s0"
+        assert budget_events[0].new_budget_bytes > 8192
+        gauge = observer.registry.get("repro_cache_budget_bytes")
+        assert gauge.value(shard="s0") == cache.budget_bytes

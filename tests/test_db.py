@@ -252,7 +252,8 @@ class TestMemoryAndElasticity:
 
 
 class TestDeprecatedSpellings:
-    """The pre-redesign read surface still works, but warns."""
+    """The pre-redesign read shims are gone; only the positional scan
+    count keeps a DeprecationWarning shim."""
 
     def make_filled(self):
         _, table = make_log_table()
@@ -262,27 +263,10 @@ class TestDeprecatedSpellings:
             table.insert(row)
         return table
 
-    def test_get_many_warns_and_delegates(self):
+    def test_removed_spellings_are_gone(self):
         table = self.make_filled()
-        probes = [(r[0],) for r in self.rows[:5]]
-        with pytest.warns(DeprecationWarning, match="get_many is deprecated"):
-            out = table.get_many("by_ts", probes)
-        assert out == table.get_batch("by_ts", probes)
-
-    def test_scan_many_warns_and_delegates(self):
-        table = self.make_filled()
-        starts = [(self.rows[0][0],), (self.rows[40][0],)]
-        with pytest.warns(DeprecationWarning, match="scan_many is deprecated"):
-            out = table.scan_many("by_ts", starts, 5)
-        assert out == table.scan_batch("by_ts", starts, count=5)
-
-    def test_included_scan_warns_and_delegates(self):
-        table = self.make_filled()
-        with pytest.warns(
-            DeprecationWarning, match="included_scan is deprecated"
-        ):
-            out = table.included_scan("by_ts", (0,), 5)
-        assert out == table.scan("by_ts", (0,), count=5, include_rows=False)
+        for name in ("get_many", "scan_many", "included_scan"):
+            assert not hasattr(table, name), name
 
     def test_positional_scan_count_warns(self):
         table = self.make_filled()
