@@ -3,12 +3,19 @@
 
 Runs the batch-lookup benchmark (``repro.bench.batch``), the
 sharded-engine benchmark (``repro.bench.shard``), the parallel
-scatter/gather benchmark (``repro.bench.parallel``), and the adaptive
-cache benchmark (``repro.bench.cache``) in small, deterministic smoke
+scatter/gather benchmark (``repro.bench.parallel``), the adaptive
+cache benchmark (``repro.bench.cache``), and the prefetch-wave
+benchmark (``repro.bench.mlp``) in small, deterministic smoke
 configurations and compares their *weighted cost units* — which are
 exactly reproducible, unlike wall-clock — against the committed
 baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
-``BENCH_parallel.json``, and ``BENCH_cache.json``.
+``BENCH_parallel.json``, ``BENCH_cache.json``, and ``BENCH_mlp.json``
+(``--list`` enumerates all five; a missing baseline fails loudly).
+The MLP gate asserts the wave-pricing contract: results byte-identical
+to serial pricing on every arm, wave-priced descents strictly cheaper
+than serial pricing at every W >= 2, W=1 reproducing today's batched
+counts exactly, and the elastic W=4 arm beating flat batched pricing
+by at least 20%.
 Fails (exit 1) when any tracked cost metric regresses by more than
 25%, when the batch cost saving falls below the 30% acceptance floor,
 when the budget arbiter fails to strictly dominate the static
@@ -55,6 +62,18 @@ BASELINE_PATH = os.path.join(REPO, "BENCH_batch.json")
 SHARD_BASELINE_PATH = os.path.join(REPO, "BENCH_shard.json")
 PARALLEL_BASELINE_PATH = os.path.join(REPO, "BENCH_parallel.json")
 CACHE_BASELINE_PATH = os.path.join(REPO, "BENCH_cache.json")
+MLP_BASELINE_PATH = os.path.join(REPO, "BENCH_mlp.json")
+
+#: Every committed baseline this script gates on.  ``--list`` prints
+#: these; a gate whose baseline is missing fails loudly rather than
+#: silently skipping.
+ALL_BASELINES = (
+    ("batch", BASELINE_PATH),
+    ("shard", SHARD_BASELINE_PATH),
+    ("parallel", PARALLEL_BASELINE_PATH),
+    ("cache", CACHE_BASELINE_PATH),
+    ("mlp", MLP_BASELINE_PATH),
+)
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
 #: The arbiter must beat static equal split by at least this saving in
@@ -105,6 +124,21 @@ CACHE_SMOKE = dict(
     query_count=16_000,
     iotta_rows=6000,
     seed=23,
+)
+
+#: The wave-priced elastic arm at W=4 must beat the flat batched (W=1)
+#: pricing by at least this saving (acceptance floor).
+MLP_SAVING_FLOOR = 0.20
+
+#: Prefetch-wave smoke: scalar vs batched vs wave-priced lookups across
+#: wave widths on three index families (repro.bench.mlp).
+MLP_SMOKE = dict(
+    n_keys=10_000,
+    query_count=1024,
+    widths=(1, 2, 3, 4),
+    indexes=("elastic", "stx", "seqtree128"),
+    seed=13,
+    batch_size=256,
 )
 
 
@@ -162,6 +196,119 @@ def run_cache_smoke():
                      "cost_saving", "hit_rate"):
             metrics[f"cache.{workload}.{name}"] = meta[f"{workload}_{name}"]
     return result, metrics, meta
+
+
+def run_mlp_smoke():
+    """The prefetch-wave smoke (observability left disabled)."""
+    from repro.bench import mlp
+
+    result = mlp.run(**MLP_SMOKE)
+    meta = result.meta
+    metrics = {}
+    for kind in MLP_SMOKE["indexes"]:
+        arm = meta[kind]
+        metrics[f"mlp.{kind}.scalar_cost_units"] = arm["scalar_cost_units"]
+        metrics[f"mlp.{kind}.batched_cost_units"] = arm["batched_cost_units"]
+        for width, cost in arm["per_width_cost_units"].items():
+            metrics[f"mlp.{kind}.w{width}_cost_units"] = cost
+    return result, metrics, meta
+
+
+def check_mlp(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Wave-pricing contract + cost-regression checks for the MLP smoke.
+
+    Contract: (a) result sets byte-identical to serial pricing on every
+    arm, (b) wave-priced batched descents strictly cheaper than serial
+    (scalar) pricing at every W >= 2, (c) W=1 reproducing today's
+    batched counts exactly (the passthrough that keeps every pre-wave
+    BENCH baseline byte-identical), and (d) the elastic W=4 arm beating
+    the flat key_load-only MLP pricing by >= the acceptance floor.
+    """
+    failures = []
+    for kind in MLP_SMOKE["indexes"]:
+        arm = meta[kind]
+        if not arm["results_identical"]:
+            failures.append(
+                f"mlp: {kind} wave-priced results diverged — wave pricing "
+                "must change cost accounting, never answers"
+            )
+        if not arm["w1_exact"]:
+            failures.append(
+                f"mlp: {kind} W=1 arm did not reproduce plain batched "
+                "event counts exactly (serial-passthrough contract)"
+            )
+        scalar = arm["scalar_cost_units"]
+        for width, cost in arm["per_width_cost_units"].items():
+            if int(width) >= 2 and cost >= scalar:
+                failures.append(
+                    f"mlp: {kind} W={width} wave pricing {cost:.1f} not "
+                    f"strictly below serial pricing {scalar:.1f}"
+                )
+    saving = meta["elastic"]["saving_at_w4_vs_batched"]
+    if saving < MLP_SAVING_FLOOR:
+        failures.append(
+            f"mlp: elastic W=4 saving {saving:.3f} vs batched pricing "
+            f"below floor {MLP_SAVING_FLOOR}"
+        )
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_mlp_enabled_replay(base_metrics: dict) -> list:
+    """Replay the MLP smoke with observability on: identical costs, and
+    the wave activity must be visible as mlp_wave events and metrics."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, _ = run_mlp_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    waves = observer.registry.get("repro_mlp_waves_total")
+    if waves is None or waves.total() == 0:
+        failures.append(
+            "enabled-replay: no mlp wave metrics recorded — emission is "
+            "wired wrong"
+        )
+    events = observer.event_log("mlp_wave")
+    if len(events) == 0:
+        failures.append("enabled-replay: no mlp_wave events captured")
+    if not failures:
+        print(
+            f"mlp enabled-replay: cost identical; "
+            f"{waves.total():.0f} waves and {len(events)} mlp_wave "
+            f"events captured"
+        )
+    return failures
 
 
 def check_cache(metrics: dict, meta: dict, baseline: dict) -> list:
@@ -567,7 +714,22 @@ def main() -> int:
         action="store_true",
         help="skip the wall-clock microbenchmark smoke pass",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="enumerate every gated BENCH baseline and exit "
+        "(exit 1 if any is missing)",
+    )
     args = parser.parse_args()
+
+    if args.list:
+        missing = 0
+        for gate, path in ALL_BASELINES:
+            present = os.path.exists(path)
+            status = "ok" if present else "MISSING (run --update)"
+            print(f"{gate:<10} {os.path.basename(path):<20} {status}")
+            missing += not present
+        return 1 if missing else 0
 
     sys.path.insert(0, os.path.join(REPO, "src"))
     result, metrics = run_smoke()
@@ -581,6 +743,9 @@ def main() -> int:
     print()
     cache_result, cache_metrics, cache_meta = run_cache_smoke()
     print(cache_result.render())
+    print()
+    mlp_result, mlp_metrics, mlp_meta = run_mlp_smoke()
+    print(mlp_result.render())
     print()
 
     if args.update:
@@ -614,6 +779,15 @@ def main() -> int:
             json.dump(cache_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {CACHE_BASELINE_PATH}")
+        mlp_payload = {
+            "config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in MLP_SMOKE.items()},
+            **{k: round(v, 4) for k, v in mlp_metrics.items()},
+        }
+        with open(MLP_BASELINE_PATH, "w") as fh:
+            json.dump(mlp_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {MLP_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -651,6 +825,14 @@ def main() -> int:
         cache_baseline = json.load(fh)
     failures.extend(check_cache(cache_metrics, cache_meta, cache_baseline))
     failures.extend(check_cache_enabled_replay(cache_metrics))
+
+    if not os.path.exists(MLP_BASELINE_PATH):
+        print(f"no baseline at {MLP_BASELINE_PATH}; run with --update")
+        return 1
+    with open(MLP_BASELINE_PATH) as fh:
+        mlp_baseline = json.load(fh)
+    failures.extend(check_mlp(mlp_metrics, mlp_meta, mlp_baseline))
+    failures.extend(check_mlp_enabled_replay(mlp_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

@@ -21,7 +21,7 @@ import os
 import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
-from repro.bench import cache, latency, parallel, sec61, sec64, shard
+from repro.bench import cache, latency, mlp, parallel, sec61, sec64, shard
 
 
 def _experiments(full: bool, events_dir=None):
@@ -70,6 +70,9 @@ def _experiments(full: bool, events_dir=None):
         "cache": lambda: cache.run(
             n_keys=20_000 * scale, query_count=60_000 * scale,
             iotta_rows=15_000 * scale,
+        ),
+        "mlp": lambda: mlp.run(
+            n_keys=50_000 * scale, query_count=4_096 * scale,
         ),
     }
 

@@ -9,9 +9,27 @@ EXPERIMENTS.md after a full benchmark run.
 from __future__ import annotations
 
 import datetime
+import json
+import os
 from typing import Iterable, List, Optional
 
 from repro.bench.harness import ExperimentResult
+
+#: The committed BENCH baselines in the order the optimizations landed,
+#: with the headline before/after cost metrics each one gates on.
+#: Each entry: (baseline file, mechanism, before metric, after metric).
+_TRAJECTORY = (
+    ("BENCH_batch.json", "batched descent sharing",
+     "elastic.scalar_cost_units", "elastic.batch_cost_units"),
+    ("BENCH_shard.json", "global budget arbitration",
+     "shard.static_cost_units", "shard.arbiter_cost_units"),
+    ("BENCH_parallel.json", "parallel scatter/gather",
+     "parallel.s4.serial_lookup_cost", "parallel.s4.parallel_lookup_cost"),
+    ("BENCH_cache.json", "adaptive read caching",
+     "cache.zipf.base_cost_units", "cache.zipf.cached_cost_units"),
+    ("BENCH_mlp.json", "prefetch-wave pricing (W=4)",
+     "mlp.elastic.w1_cost_units", "mlp.elastic.w4_cost_units"),
+)
 
 
 def _fmt(value: float) -> str:
@@ -43,6 +61,43 @@ def result_to_markdown(result: ExperimentResult) -> str:
         for label, value in result.rows:
             lines.append(f"- **{label}**: {value}")
         lines.append("")
+    return "\n".join(lines)
+
+
+def perf_trajectory(repo_root: Optional[str] = None) -> str:
+    """One markdown table over every committed ``BENCH_*.json`` baseline.
+
+    Summarizes the perf trajectory of the optimization PRs: for each
+    baseline, the headline smoke metric before and after its mechanism
+    (weighted cost units, so the figures are exactly reproducible) and
+    the relative saving.  Baselines not present under ``repo_root``
+    (default: the repository root above this package) get a ``missing``
+    row rather than being silently dropped.
+    """
+    if repo_root is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+    lines = [
+        "| baseline | mechanism | serial cost | optimized cost | saving |",
+        "|---|---|---|---|---|",
+    ]
+    for filename, mechanism, before_key, after_key in _TRAJECTORY:
+        path = os.path.join(repo_root, filename)
+        if not os.path.exists(path):
+            lines.append(f"| {filename} | {mechanism} | — | — | missing |")
+            continue
+        with open(path) as fh:
+            payload = json.load(fh)
+        before = payload.get(before_key)
+        after = payload.get(after_key)
+        if before is None or after is None or not before:
+            lines.append(f"| {filename} | {mechanism} | — | — | missing |")
+            continue
+        saving = (1.0 - after / before) * 100
+        lines.append(
+            f"| {filename} | {mechanism} | {_fmt(before)} | {_fmt(after)} "
+            f"| {saving:.1f}% |"
+        )
     return "\n".join(lines)
 
 

@@ -158,7 +158,9 @@ class CompactLeaf(LeafNode):
         rep = self.rep
         out: List[Optional[int]] = []
         with self.cost.attributed_to("compact.search"):
-            self.cost.rand_lines(1)
+            # Independent across the batch's leaf groups: wave-priced
+            # under an open mlp_window, serial otherwise.
+            self.cost.wave_loads("rand_line", 1)
             self._breathing_search_cost()
             with self.cost.mlp_batch():
                 for key in keys:

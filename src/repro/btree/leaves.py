@@ -288,9 +288,11 @@ class StandardLeaf(LeafNode):
         leaf_keys = self.keys
         n = len(leaf_keys)
         cost = self.cost
-        cost.rand_lines(1)
+        # Leaf accesses across a batch's groups are independent loads:
+        # wave-priced under an open mlp_window, serial otherwise.
+        cost.wave_loads("rand_line", 1)
         if n and n * self.key_width > _CACHE_LINE:
-            cost.rand_lines(1)
+            cost.wave_loads("rand_line", 1)
         probes = max(1, n.bit_length()) if n else 1
         cost.compares(probes * len(keys))
         cost.branches(probes * len(keys))

@@ -15,7 +15,7 @@ from repro.btree.leaves import (
 )
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.cost_model import CostModel, NULL_COST_MODEL
-from repro.obs import BatchDescentEvent
+from repro.obs import BatchDescentEvent, MlpWaveEvent
 
 INNER_HEADER_BYTES = 24
 POINTER_BYTES = 8
@@ -317,7 +317,10 @@ class BPlusTree:
                 if self.trace is not None:
                     self.trace.append(node.node_id)
                 groups.append((node, lo, hi))
-        self.cost.rand_lines(inner_visits)
+        # Sibling-subtree descents are independent pointer chases: under
+        # an open mlp_window they issue as prefetch waves; with no window
+        # this is plain serial rand_line charging.
+        self.cost.wave_loads("rand_line", inner_visits)
         self.cost.compares(probe_events)
         self.cost.branches(probe_events)
         groups.sort(key=lambda g: g[1])
@@ -335,6 +338,17 @@ class BPlusTree:
         if obs.is_enabled():
             obs.emit(BatchDescentEvent(
                 op=op, batch_size=batch_size, descents=descents,
+            ))
+
+    @staticmethod
+    def _emit_mlp_wave(op: str, wave) -> None:
+        """Publish one :class:`~repro.obs.MlpWaveEvent` if the window
+        actually wave-priced loads (width >= 2 and loads issued)."""
+        if wave.loads and obs.is_enabled():
+            obs.emit(MlpWaveEvent(
+                op=op, width=wave.width, waves=wave.waves,
+                loads=wave.loads, overlapped=wave.overlapped,
+                saved_units=wave.saved_units,
             ))
 
     # ------------------------------------------------------------------
@@ -379,18 +393,22 @@ class BPlusTree:
             if not keys:
                 return results
         order, run = self._sorted_run(keys)
-        groups = self._partition_descend(run)
-        for leaf, lo, hi in groups:
-            hits = leaf.lookup_batch(run[lo:hi])
-            compact = cache is not None and leaf.is_compact
-            for offset, tid in enumerate(hits):
-                position = order[lo + offset]
-                if cache is not None:
-                    position = positions[position]
-                results[position] = tid
-                if compact and tid is not None:
-                    cache.admit_row(run[lo + offset], tid)
+        # The batch's subtree descents and leaf accesses are independent
+        # loads: under a wave width >= 2 they issue as prefetch waves.
+        with self.cost.mlp_window() as wave:
+            groups = self._partition_descend(run)
+            for leaf, lo, hi in groups:
+                hits = leaf.lookup_batch(run[lo:hi])
+                compact = cache is not None and leaf.is_compact
+                for offset, tid in enumerate(hits):
+                    position = order[lo + offset]
+                    if cache is not None:
+                        position = positions[position]
+                    results[position] = tid
+                    if compact and tid is not None:
+                        cache.admit_row(run[lo + offset], tid)
         self._emit_batch_descent("lookup", len(keys), len(groups))
+        self._emit_mlp_wave("lookup", wave)
         return results
 
     @staticmethod
@@ -531,13 +549,18 @@ class BPlusTree:
         if not start_keys:
             return results
         order, run = self._sorted_run(start_keys)
-        groups = self._partition_descend(run)
-        for leaf, lo, hi in groups:
-            for offset in range(lo, hi):
-                results[order[offset]] = self._collect_scan(
-                    leaf, run[offset], count
-                )
+        # Shared descents plus per-scan iteration key loads wave-price
+        # under the window; the leaf-chain pointer chases inside
+        # _collect_scan are dependent and stay serially priced.
+        with self.cost.mlp_window() as wave:
+            groups = self._partition_descend(run)
+            for leaf, lo, hi in groups:
+                for offset in range(lo, hi):
+                    results[order[offset]] = self._collect_scan(
+                        leaf, run[offset], count
+                    )
         self._emit_batch_descent("scan", len(start_keys), len(groups))
+        self._emit_mlp_wave("scan", wave)
         return results
 
     def _collect_scan(

@@ -137,20 +137,25 @@ class ElasticBPlusTree(BPlusTree):
                 return results
         order, run = self._sorted_run(keys)
         visited: List[Tuple[LeafNode, int]] = []
-        groups = self._partition_descend(run)
-        for leaf, lo, hi in groups:
-            leaf.access_count += hi - lo
-            hits = leaf.lookup_batch(run[lo:hi])
-            compact = cache is not None and leaf.is_compact
-            for offset, tid in enumerate(hits):
-                position = order[lo + offset]
-                if cache is not None:
-                    position = positions[position]
-                results[position] = tid
-                if compact and tid is not None:
-                    cache.admit_row(run[lo + offset], tid)
-            visited.append((leaf, hi - lo))
+        # Wave-price the shared descent and leaf visits; deferred
+        # expansion work below is structural (copies, allocs), not a set
+        # of independent loads, so it runs outside the window.
+        with self.cost.mlp_window() as wave:
+            groups = self._partition_descend(run)
+            for leaf, lo, hi in groups:
+                leaf.access_count += hi - lo
+                hits = leaf.lookup_batch(run[lo:hi])
+                compact = cache is not None and leaf.is_compact
+                for offset, tid in enumerate(hits):
+                    position = order[lo + offset]
+                    if cache is not None:
+                        position = positions[position]
+                    results[position] = tid
+                    if compact and tid is not None:
+                        cache.admit_row(run[lo + offset], tid)
+                visited.append((leaf, hi - lo))
         self._emit_batch_descent("lookup", len(keys), len(groups))
+        self._emit_mlp_wave("lookup", wave)
         self._run_deferred_expansion(visited)
         self.controller.run_pending()
         return results
@@ -161,15 +166,17 @@ class ElasticBPlusTree(BPlusTree):
             return results
         order, run = self._sorted_run(start_keys)
         visited: List[Tuple[LeafNode, int]] = []
-        groups = self._partition_descend(run)
-        for leaf, lo, hi in groups:
-            leaf.access_count += hi - lo
-            for offset in range(lo, hi):
-                results[order[offset]] = self._collect_scan(
-                    leaf, run[offset], count
-                )
-            visited.append((leaf, hi - lo))
+        with self.cost.mlp_window() as wave:
+            groups = self._partition_descend(run)
+            for leaf, lo, hi in groups:
+                leaf.access_count += hi - lo
+                for offset in range(lo, hi):
+                    results[order[offset]] = self._collect_scan(
+                        leaf, run[offset], count
+                    )
+                visited.append((leaf, hi - lo))
         self._emit_batch_descent("scan", len(start_keys), len(groups))
+        self._emit_mlp_wave("scan", wave)
         self._run_deferred_expansion(visited)
         self.controller.run_pending()
         return results

@@ -34,6 +34,18 @@ and event streams are byte-identical across runs regardless of thread
 completion order, because all events are emitted by the coordinator in
 shard order after the gather.
 
+Interaction with prefetch-wave pricing (DESIGN.md §10): a shard whose
+sub-batch runs with an :meth:`~repro.memory.cost_model.CostModel.
+mlp_window` width >= 2 records *wave-priced* counts (including the
+``wave_issue`` fees) in its measured delta, because every window opens
+and closes inside the measurement lock.  ``charge_parallel`` then
+rebates whole deltas of non-critical shards — exactly the counts they
+charged, wave fees included — so wave pricing and critical-path
+rebating **compose**: the intra-shard MLP discount applies first, the
+inter-shard overlap discount second, and no event is ever discounted
+twice (nor can a rebate recreate serial pricing for a wave-priced
+load).
+
 Robustness layers (all scriptable via
 :class:`~repro.engine.faults.FaultPlan`, all observable as events):
 

@@ -22,8 +22,9 @@ native/fallback accounting.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.baselines.interface import OrderedIndex
@@ -41,6 +42,12 @@ class BatchStats:
     #: Point queries answered from the index's adaptive row cache
     #: before any descent was paid (0 when no cache is attached).
     cache_hits: int = 0
+    #: Prefetch-wave tallies accumulated by read dispatches issued with
+    #: an ``mlp_width`` >= 2 (all zero otherwise): waves charged, loads
+    #: wave-priced, and cost units saved versus serial pricing.
+    mlp_waves: int = 0
+    mlp_loads: int = 0
+    mlp_saved_units: float = 0.0
     by_kind: dict = field(default_factory=dict)
 
     def record(self, kind: str, ops: int, native: bool) -> None:
@@ -72,13 +79,35 @@ class BatchExecutor:
         max_batch: Batches larger than this are executed in chunks, so a
             caller may hand over an arbitrarily large operation buffer
             (an execution engine would bound its run size the same way).
+        mlp_width: Optional prefetch-wave width for read dispatches.
+            When set (>= 2), every ``get_batch`` / ``scan_batch`` chunk
+            runs with the index's cost model defaulted to that
+            :meth:`~repro.memory.CostModel.mlp_window` width, so the
+            shared descents it issues are wave-priced; width 1 is the
+            exact serial baseline.  Requires the index to expose its
+            cost model as ``index.cost``.  ``None`` (the default)
+            leaves the model's own width untouched.
     """
 
-    def __init__(self, index, max_batch: int = 4096) -> None:
+    def __init__(
+        self,
+        index,
+        max_batch: int = 4096,
+        mlp_width: Optional[int] = None,
+    ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
+        if mlp_width is not None and mlp_width < 1:
+            raise ValueError("mlp_width must be positive")
         self.index = index
         self.max_batch = max_batch
+        self.mlp_width = mlp_width
+        self._cost = getattr(index, "cost", None)
+        if mlp_width is not None and self._cost is None:
+            raise ValueError(
+                "mlp_width requires an index exposing its cost model "
+                "as index.cost"
+            )
         self.stats = BatchStats()
         self._native: Dict[str, bool] = {
             "get": _overrides_protocol_default(index, "lookup_batch"),
@@ -111,6 +140,27 @@ class BatchExecutor:
         cache = getattr(self.index, "cache", None)
         return [cache] if cache is not None else []
 
+    @contextmanager
+    def _mlp_scope(self) -> Iterator[None]:
+        """Apply the configured wave width to the index's cost model for
+        one read dispatch and fold the wave tallies into :attr:`stats`."""
+        cost = self._cost
+        if self.mlp_width is None or cost is None:
+            yield
+            return
+        totals = cost.mlp_totals
+        loads = totals.loads
+        waves = totals.waves
+        saved = totals.saved_units
+        with cost.using_mlp_width(self.mlp_width):
+            try:
+                yield
+            finally:
+                totals = cost.mlp_totals
+                self.stats.mlp_loads += totals.loads - loads
+                self.stats.mlp_waves += totals.waves - waves
+                self.stats.mlp_saved_units += totals.saved_units - saved
+
     def get_batch(self, keys: Sequence[bytes]) -> List[Optional[int]]:
         """Point-query a batch; results align with the input order.
 
@@ -122,9 +172,10 @@ class BatchExecutor:
         caches = self._caches()
         hits_before = sum(c.stats.row_hits for c in caches)
         out: List[Optional[int]] = []
-        for chunk in self._chunks(keys):
-            self._record("get", len(chunk))
-            out.extend(self.index.lookup_batch(chunk))
+        with self._mlp_scope():
+            for chunk in self._chunks(keys):
+                self._record("get", len(chunk))
+                out.extend(self.index.lookup_batch(chunk))
         if caches:
             self.stats.cache_hits += (
                 sum(c.stats.row_hits for c in caches) - hits_before
@@ -151,9 +202,10 @@ class BatchExecutor:
     ) -> List[List[Tuple[bytes, int]]]:
         """Run one ``count``-item scan per start key."""
         out: List[List[Tuple[bytes, int]]] = []
-        for chunk in self._chunks(start_keys):
-            self._record("scan", len(chunk))
-            out.extend(self.index.scan_batch(chunk, count))
+        with self._mlp_scope():
+            for chunk in self._chunks(start_keys):
+                self._record("scan", len(chunk))
+                out.extend(self.index.scan_batch(chunk, count))
         return out
 
     # ------------------------------------------------------------------

@@ -18,7 +18,12 @@ substrates that all experiments are built on:
 """
 
 from repro.memory.allocator import TrackingAllocator, jemalloc_size_class
-from repro.memory.cost_model import CostModel, CostWeights, NULL_COST_MODEL
+from repro.memory.cost_model import (
+    CostModel,
+    CostWeights,
+    NULL_COST_MODEL,
+    WaveStats,
+)
 from repro.memory.budget import MemoryBudget, PressureState
 
 __all__ = [
@@ -27,6 +32,7 @@ __all__ = [
     "CostModel",
     "CostWeights",
     "NULL_COST_MODEL",
+    "WaveStats",
     "MemoryBudget",
     "PressureState",
 ]

@@ -49,6 +49,16 @@ Event categories
     structure.  Charged on every probe — hit *or* miss — so cached reads
     stay honestly accountable; calibrated at 0.1 (an order of magnitude
     under ``rand_line``, well above free).
+``wave_issue``
+    Per-wave orchestration fee of prefetch-wave accounting (see
+    :meth:`CostModel.mlp_window`): issuing a group of independent loads
+    as one wave of outstanding misses costs the software-prefetch /
+    line-fill-buffer steering work on top of the single overlapped
+    miss latency the wave charges.  Calibrated at 0.10 so that a
+    key-load wave of width 3 prices each load at ``(1.25 + 0.10) / 3 =
+    0.45`` — exactly the ``key_load_batched`` rate, recovering the
+    Broadwell-derived ~3x effective-MLP calibration as the W=3 fixed
+    point of the general combinator.
 
 Calibration: with these weights, a 16-slot STX leaf search costs about
 4–5 units (root-to-leaf pointer chases dominate) and a 15-key scan costs
@@ -59,7 +69,7 @@ about 2 extra units on a B+-tree versus about 19 on an indirect-key index
 from __future__ import annotations
 
 from dataclasses import dataclass, field, asdict
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 from contextlib import contextmanager
 
 
@@ -78,6 +88,7 @@ class CostWeights:
     copy_line: float = 0.25
     fixed_op: float = 1.0
     cache_hit: float = 0.1
+    wave_issue: float = 0.1
 
     def as_dict(self) -> Dict[str, float]:
         """Return the weights as a plain dict keyed by category name.
@@ -102,6 +113,57 @@ _CACHE_LINE = 64
 
 
 @dataclass
+class WaveStats:
+    """Prefetch-wave accounting tallies (one window, or the cumulative
+    totals on a :class:`CostModel`).
+
+    ``loads`` counts the independent loads priced through waves,
+    ``waves`` the wave issues charged for them.  ``serial_units`` is
+    what fully *dependent* (serial) pricing would have charged for the
+    same loads — each load at its category's full weight — and
+    ``wave_units`` is what wave pricing actually charged (one
+    category-weight miss plus one ``wave_issue`` fee per wave), so
+    ``saved_units`` is the latency the memory-level parallelism hid.
+    """
+
+    width: int = 1
+    loads: int = 0
+    waves: int = 0
+    serial_units: float = 0.0
+    wave_units: float = 0.0
+
+    @property
+    def overlapped(self) -> int:
+        """Loads that rode behind another load's miss latency."""
+        return self.loads - self.waves
+
+    @property
+    def saved_units(self) -> float:
+        """Cost units hidden versus serial (dependent-load) pricing."""
+        return self.serial_units - self.wave_units
+
+    def fold(self, other: "WaveStats") -> None:
+        """Accumulate ``other``'s tallies into this instance."""
+        self.loads += other.loads
+        self.waves += other.waves
+        self.serial_units += other.serial_units
+        self.wave_units += other.wave_units
+
+
+class _WaveWindow:
+    """Open-window state for :meth:`CostModel.mlp_window` (internal)."""
+
+    __slots__ = ("width", "pending", "stats", "depth")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        #: Per-category loads not yet grouped into a complete wave.
+        self.pending: Dict[str, int] = {}
+        self.stats = WaveStats(width=width)
+        self.depth = 1
+
+
+@dataclass
 class CostModel:
     """Accumulates weighted memory-hierarchy events.
 
@@ -120,6 +182,14 @@ class CostModel:
     #: Nesting depth of :meth:`mlp_batch` blocks.  When positive,
     #: dependent key loads charge as independent (batched) loads.
     _mlp_depth: int = field(default=0, repr=False)
+    #: Default prefetch-wave width for :meth:`mlp_window`.  1 disables
+    #: wave pricing entirely (exact serial passthrough, no issue fee),
+    #: so every pre-wave baseline reproduces byte-for-byte by default.
+    mlp_width: int = 1
+    #: Cumulative wave tallies across all closed windows (see
+    #: :meth:`mlp_summary`); cleared by :meth:`reset`.
+    mlp_totals: WaveStats = field(default_factory=WaveStats, repr=False)
+    _wave: Optional[_WaveWindow] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Charging primitives
@@ -148,16 +218,66 @@ class CostModel:
         """Charge ``n`` dependent indirect key loads from the table.
 
         Inside an :meth:`mlp_batch` block the loads belong to a batch of
-        independent accesses and charge at the overlapped (batched) rate.
+        independent accesses and charge at the overlapped (batched) rate
+        — or, when an :meth:`mlp_window` of width >= 2 is open, are
+        grouped into prefetch waves of full-weight ``key_load`` events
+        (the general form of the same discount; see the module
+        docstring's W=3 fixed point).
         """
         if self._mlp_depth:
-            self.charge("key_load_batched", n)
+            if self._wave is not None:
+                self.wave_loads("key_load", n)
+            else:
+                self.charge("key_load_batched", n)
         else:
             self.charge("key_load", n)
 
     def key_loads_batched(self, n: int = 1) -> None:
-        """Charge ``n`` independent (overlappable) indirect key loads."""
-        self.charge("key_load_batched", n)
+        """Charge ``n`` independent (overlappable) indirect key loads.
+
+        Under an open :meth:`mlp_window` the loads join the window's
+        ``key_load`` waves instead of taking the flat batched rate.
+        """
+        if self._wave is not None:
+            self.wave_loads("key_load", n)
+        else:
+            self.charge("key_load_batched", n)
+
+    def wave_loads(self, category: str, n: int = 1) -> None:
+        """Charge ``n`` *independent* loads of ``category``, wave-priced.
+
+        With no open :meth:`mlp_window` (or width 1) this is exactly
+        :meth:`charge` — serial pricing, zero overhead.  Under a window
+        of width ``W`` the loads accumulate per category; every ``W``
+        accumulated loads complete one wave, charged as **one** event of
+        ``category`` (max-of-wave: same-category loads share one weight,
+        and the other ``W - 1`` misses overlap behind it) plus one
+        ``wave_issue`` orchestration fee.  Partial waves are flushed at
+        the same rate when the window closes.
+
+        Only use this for loads that are genuinely independent (sibling
+        subtree descents, per-group leaf accesses, batch verify loads) —
+        dependent pointer chases within one root-to-leaf path must keep
+        serial :meth:`rand_lines` pricing.
+        """
+        if not (n and self.enabled):
+            return
+        window = self._wave
+        if window is None:
+            self.charge(category, n)
+            return
+        weight = self.weights._weight_map().get(category, 0.0)
+        stats = window.stats
+        stats.loads += n
+        stats.serial_units += n * weight
+        complete, remainder = divmod(window.pending.get(category, 0) + n,
+                                     window.width)
+        if complete:
+            self.charge(category, complete)
+            self.charge("wave_issue", complete)
+            stats.waves += complete
+            stats.wave_units += complete * (weight + self.weights.wave_issue)
+        window.pending[category] = remainder
 
     def compares(self, n: int = 1) -> None:
         """Charge ``n`` key comparisons / bit tests."""
@@ -205,11 +325,19 @@ class CostModel:
         the shared model (so the work *is* charged as it executes) and
         then rebates the events hidden behind the critical path — work
         overlapped by a concurrently-executing shard costs no latency.
-        Implemented as negative charges so attribution buckets stay
-        consistent with the original charge.
+        Rebates adjust only the **global** counters: attribution is
+        suppressed while the negative charges land, so per-tag buckets
+        keep recording the work that was *performed* and never pick up
+        negative residues from a rebate issued under a different (or
+        no) attribution context than the original charge.
         """
-        for category, count in delta.counts.items():
-            self.charge(category, -count)
+        previous = self._attribution
+        self._attribution = ""
+        try:
+            for category, count in delta.counts.items():
+                self.charge(category, -count)
+        finally:
+            self._attribution = previous
 
     def charge_parallel(
         self,
@@ -257,13 +385,100 @@ class CostModel:
         Batched execution turns the one-verify-load-per-lookup pointer
         chase into many outstanding loads an out-of-order core overlaps
         (memory-level parallelism, cf. the Cuckoo Trie); under this block
-        ``key_loads`` charges at the ``key_load_batched`` rate.  Nests.
+        ``key_loads`` charges at the ``key_load_batched`` rate.  Nests;
+        depth bookkeeping is exception-safe and guarded against
+        underflow.
         """
         self._mlp_depth += 1
         try:
             yield
         finally:
             self._mlp_depth -= 1
+            assert self._mlp_depth >= 0, "mlp_batch depth underflow"
+
+    @contextmanager
+    def mlp_window(self, width: Optional[int] = None) -> Iterator[WaveStats]:
+        """Open a prefetch-wave window: independent loads charged through
+        :meth:`wave_loads` (and key loads already marked independent via
+        :meth:`mlp_batch` / :meth:`key_loads_batched`) are grouped into
+        waves of ``width`` outstanding misses and charged max-of-wave
+        plus one ``wave_issue`` fee per wave.
+
+        ``width`` defaults to :attr:`mlp_width`.  Width 1 (or a
+        disabled model) yields an inert :class:`WaveStats` and changes
+        nothing — serial pricing, byte-identical to a run without the
+        window.  Nested windows join the outermost window's wave set
+        (the hardware has one line-fill buffer pool; the inner call's
+        requested width is ignored).  On exit — normal or by exception
+        — partial waves are flushed deterministically (per category, in
+        sorted order) and the window's tallies fold into
+        :attr:`mlp_totals`.
+
+        Windows must close inside any enclosing :meth:`measure` scope
+        so the flush lands in the same delta as the loads it prices.
+        """
+        effective = self.mlp_width if width is None else width
+        if not self.enabled or effective <= 1:
+            yield WaveStats(width=max(1, effective))
+            return
+        window = self._wave
+        if window is not None:
+            window.depth += 1
+            try:
+                yield window.stats
+            finally:
+                window.depth -= 1
+                assert window.depth >= 1, "mlp_window depth underflow"
+            return
+        window = _WaveWindow(effective)
+        self._wave = window
+        try:
+            yield window.stats
+        finally:
+            window.depth -= 1
+            assert window.depth == 0, "mlp_window depth underflow"
+            self._wave = None
+            self._flush_window(window)
+            self.mlp_totals.fold(window.stats)
+
+    def _flush_window(self, window: _WaveWindow) -> None:
+        """Charge the window's partial waves (one event + one fee each)."""
+        weights = self.weights._weight_map()
+        fee = self.weights.wave_issue
+        stats = window.stats
+        for category in sorted(window.pending):
+            if window.pending[category]:
+                self.charge(category, 1)
+                self.charge("wave_issue", 1)
+                stats.waves += 1
+                stats.wave_units += weights.get(category, 0.0) + fee
+        window.pending.clear()
+
+    @contextmanager
+    def using_mlp_width(self, width: int) -> Iterator[None]:
+        """Override :attr:`mlp_width` (the default window width) inside
+        the block.  Restores the previous width on exit."""
+        if width < 1:
+            raise ValueError("mlp width must be positive")
+        previous = self.mlp_width
+        self.mlp_width = width
+        try:
+            yield
+        finally:
+            self.mlp_width = previous
+
+    def mlp_summary(self) -> Dict[str, float]:
+        """Cumulative prefetch-wave tallies (see :class:`WaveStats`)."""
+        totals = self.mlp_totals
+        return {
+            "width": self.mlp_width,
+            "loads": totals.loads,
+            "waves": totals.waves,
+            "overlapped": totals.overlapped,
+            "serial_units": totals.serial_units,
+            "wave_units": totals.wave_units,
+            "saved_units": totals.saved_units,
+        }
 
     # ------------------------------------------------------------------
     # Reporting
@@ -284,9 +499,10 @@ class CostModel:
         return dict(self.counts)
 
     def reset(self) -> None:
-        """Clear all counters."""
+        """Clear all counters (including cumulative wave tallies)."""
         self.counts.clear()
         self.tagged.clear()
+        self.mlp_totals = WaveStats()
 
     @contextmanager
     def measure(self) -> Iterator["CostModel"]:

@@ -45,6 +45,7 @@ from repro.obs.events import (
     EventBus,
     ExecutorDegradeEvent,
     LeafConversionEvent,
+    MlpWaveEvent,
     ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
@@ -88,6 +89,7 @@ __all__ = [
     "Histogram",
     "LeafConversionEvent",
     "MetricsRegistry",
+    "MlpWaveEvent",
     "Observer",
     "ParallelGatherEvent",
     "PolicyActionEvent",

@@ -146,6 +146,29 @@ class BatchDispatchEvent(Event):
 
 
 @dataclass
+class MlpWaveEvent(Event):
+    """One prefetch-wave window closed on a batched read path.
+
+    Emitted by the B+-tree family's batched lookups/scans when the
+    window actually priced loads (``loads`` > 0): ``waves`` is the
+    number of wave issues charged for ``loads`` independent loads at
+    width ``width``, ``overlapped`` the loads that rode behind another
+    load's miss latency, and ``saved_units`` the cost units hidden
+    versus serial (dependent-load) pricing.  All figures come from the
+    deterministic cost model, so event streams stay byte-identical
+    across runs.
+    """
+
+    kind: ClassVar[str] = "mlp_wave"
+    op: str = ""
+    width: int = 0
+    waves: int = 0
+    loads: int = 0
+    overlapped: int = 0
+    saved_units: float = 0.0
+
+
+@dataclass
 class PolicyActionEvent(Event):
     """A grow/shrink policy queued deferred work (sweep, bulk compact)."""
 

@@ -29,6 +29,7 @@ from repro.obs.events import (
     EventBus,
     ExecutorDegradeEvent,
     LeafConversionEvent,
+    MlpWaveEvent,
     ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
@@ -166,6 +167,19 @@ class Observer:
             "Cost units hidden behind parallel critical paths "
             "(serial sum minus critical path, accumulated).",
         )
+        self._mlp_waves = reg.counter(
+            "repro_mlp_waves_total",
+            "Prefetch waves issued by batched read paths, by op.",
+        )
+        self._mlp_loads = reg.counter(
+            "repro_mlp_loads_total",
+            "Independent loads wave-priced by batched read paths, by op.",
+        )
+        self._mlp_saved = reg.counter(
+            "repro_mlp_units_saved_total",
+            "Cost units hidden by prefetch waves versus serial pricing, "
+            "by op.",
+        )
         self._cache_events = reg.counter(
             "repro_cache_events_total",
             "Adaptive-cache actions by cache name, action and tier.",
@@ -240,6 +254,11 @@ class Observer:
             self._shard_hedges.inc(winner=event.winner)
         elif isinstance(event, ExecutorDegradeEvent):
             self._executor_degrades.inc(reason=event.reason)
+        elif isinstance(event, MlpWaveEvent):
+            self._mlp_waves.inc(event.waves, op=event.op)
+            self._mlp_loads.inc(event.loads, op=event.op)
+            if event.saved_units > 0:
+                self._mlp_saved.inc(event.saved_units, op=event.op)
         elif isinstance(event, CacheEvent):
             self._cache_events.inc(
                 name=event.name, action=event.action, tier=event.tier

@@ -1,5 +1,17 @@
 """Operator tooling: structure inspection and reporting."""
 
-from repro.tools.inspect import dump_tree, leaf_histogram, format_size
+from repro.tools.inspect import (
+    cache_summary,
+    dump_tree,
+    format_size,
+    leaf_histogram,
+    mlp_summary,
+)
 
-__all__ = ["dump_tree", "leaf_histogram", "format_size"]
+__all__ = [
+    "cache_summary",
+    "dump_tree",
+    "format_size",
+    "leaf_histogram",
+    "mlp_summary",
+]

@@ -118,6 +118,33 @@ def cache_summary(index) -> str:
     return "\n".join(lines)
 
 
+def mlp_summary(target) -> str:
+    """Prefetch-wave accounting summary (see ``CostModel.mlp_window``).
+
+    Accepts a :class:`~repro.memory.CostModel` directly, or any object
+    exposing one as ``.cost`` (a tree, a :class:`~repro.engine.
+    ShardedIndex`, an :class:`~repro.exec.BatchExecutor`'s index).
+    Reports cumulative waves issued, loads overlapped behind another
+    load's miss, and cost units saved versus serial pricing.
+    """
+    cost = getattr(target, "cost", target)
+    summary = cost.mlp_summary()
+    loads = summary["loads"]
+    lines = [
+        f"mlp: default width {summary['width']}",
+        f"  loads wave-priced   {loads}",
+        f"  waves issued        {summary['waves']}",
+        f"  loads overlapped    {summary['overlapped']}",
+        f"  serial pricing      {summary['serial_units']:.2f} units",
+        f"  wave pricing        {summary['wave_units']:.2f} units",
+        f"  units saved         {summary['saved_units']:.2f}",
+    ]
+    if loads:
+        saved_pct = summary["saved_units"] / summary["serial_units"] * 100
+        lines.append(f"  saving vs serial    {saved_pct:.1f}%")
+    return "\n".join(lines)
+
+
 def leaf_histogram(tree: BPlusTree, buckets: int = 10) -> str:
     """Histogram of leaf occupancy, split by representation."""
     standard = [0] * buckets

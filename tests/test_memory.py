@@ -1,6 +1,7 @@
 """Unit tests for the memory substrate: allocator, cost model, budget."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.memory.allocator import TrackingAllocator, jemalloc_size_class
 from repro.memory.budget import MemoryBudget, PressureState
@@ -276,3 +277,217 @@ class TestSetSoftBound:
         budget2 = MemoryBudget(1000, 0.9, 0.75)
         assert budget2.set_soft_bound(520) is PressureState.NORMAL
         assert budget2.transitions == 0
+
+
+class TestPrefetchWaves:
+    """mlp_window / wave_loads: the prefetch-wave accounting primitive."""
+
+    def test_wave_grouping_and_partial_flush(self):
+        cost = CostModel()
+        with cost.mlp_window(3) as wave:
+            for _ in range(7):
+                cost.wave_loads("rand_line")
+        # 7 loads at W=3: two full waves + one partial flushed on close.
+        assert cost.counts == {"rand_line": 3, "wave_issue": 3}
+        assert wave.loads == 7 and wave.waves == 3
+        assert wave.overlapped == 4
+        assert wave.serial_units == pytest.approx(7.0)
+        assert wave.wave_units == pytest.approx(3 * 1.1)
+        assert wave.saved_units == pytest.approx(7.0 - 3.3)
+
+    def test_no_window_is_plain_charge(self):
+        cost = CostModel()
+        cost.wave_loads("rand_line", 5)
+        assert cost.counts == {"rand_line": 5}
+
+    def test_width_one_is_exact_serial_passthrough(self):
+        serial = CostModel()
+        serial.rand_lines(5)
+        serial.key_loads_batched(3)
+        waved = CostModel()
+        with waved.mlp_window(1) as wave:
+            waved.wave_loads("rand_line", 5)
+            waved.key_loads_batched(3)
+        assert waved.counts == serial.counts
+        assert wave.loads == 0  # inert stats: nothing wave-priced
+        assert waved.mlp_totals.loads == 0
+
+    def test_w3_key_load_wave_is_batched_rate_fixed_point(self):
+        # (key_load 1.25 + wave_issue 0.10) / 3 == key_load_batched 0.45.
+        flat = CostModel()
+        with flat.mlp_batch():
+            flat.key_loads(3)
+        waved = CostModel()
+        with waved.mlp_window(3):
+            with waved.mlp_batch():
+                waved.key_loads(3)
+        assert waved.weighted_cost() == pytest.approx(flat.weighted_cost())
+        assert waved.counts == {"key_load": 1, "wave_issue": 1}
+
+    def test_key_loads_batched_joins_window_waves(self):
+        cost = CostModel()
+        with cost.mlp_window(4):
+            cost.key_loads_batched(8)
+        assert cost.counts == {"key_load": 2, "wave_issue": 2}
+
+    def test_dependent_key_loads_stay_serial_under_window(self):
+        cost = CostModel()
+        with cost.mlp_window(4):
+            cost.key_loads(2)  # not inside mlp_batch: dependent chase
+        assert cost.counts == {"key_load": 2}
+
+    def test_nested_windows_join_the_outermost(self):
+        cost = CostModel()
+        with cost.mlp_window(3) as outer:
+            cost.wave_loads("rand_line", 2)
+            with cost.mlp_window(8) as inner:  # width ignored: joins outer
+                cost.wave_loads("rand_line", 1)
+            assert inner is outer
+            # 3 accumulated loads completed one wave inside the block.
+            assert cost.counts == {"rand_line": 1, "wave_issue": 1}
+        assert outer.waves == 1 and outer.loads == 3
+
+    def test_window_flush_is_exception_safe(self):
+        cost = CostModel()
+        with pytest.raises(RuntimeError):
+            with cost.mlp_window(4):
+                cost.wave_loads("rand_line", 2)
+                raise RuntimeError("boom")
+        # Partial wave flushed, window closed, model reusable.
+        assert cost.counts == {"rand_line": 1, "wave_issue": 1}
+        assert cost._wave is None
+        cost.wave_loads("rand_line", 1)
+        assert cost.counts["rand_line"] == 2
+
+    def test_flush_order_is_deterministic_per_category(self):
+        cost = CostModel()
+        with cost.mlp_window(4):
+            cost.wave_loads("rand_line", 1)
+            cost.wave_loads("key_load", 1)
+        assert cost.counts == {"rand_line": 1, "key_load": 1,
+                               "wave_issue": 2}
+
+    def test_disabled_model_ignores_windows(self):
+        cost = CostModel(enabled=False)
+        with cost.mlp_window(4) as wave:
+            cost.wave_loads("rand_line", 8)
+        assert cost.counts == {} and wave.loads == 0
+
+    def test_using_mlp_width_scopes_the_default(self):
+        cost = CostModel()
+        assert cost.mlp_width == 1
+        with cost.using_mlp_width(4):
+            with cost.mlp_window():  # picks up the scoped default
+                cost.wave_loads("rand_line", 4)
+        assert cost.mlp_width == 1
+        assert cost.counts == {"rand_line": 1, "wave_issue": 1}
+        with pytest.raises(ValueError):
+            with cost.using_mlp_width(0):
+                pass
+
+    def test_mlp_summary_and_reset(self):
+        cost = CostModel()
+        with cost.mlp_window(2):
+            cost.wave_loads("rand_line", 4)
+        summary = cost.mlp_summary()
+        assert summary["loads"] == 4 and summary["waves"] == 2
+        assert summary["overlapped"] == 2
+        assert summary["saved_units"] == pytest.approx(4.0 - 2 * 1.1)
+        cost.reset()
+        assert cost.mlp_summary()["loads"] == 0
+
+    def test_mlp_batch_nesting_and_exception_unwind(self):
+        cost = CostModel()
+        with cost.mlp_batch():
+            with cost.mlp_batch():
+                cost.key_loads(1)
+            cost.key_loads(1)  # still inside the outer block
+        assert cost.counts == {"key_load_batched": 2}
+        with pytest.raises(RuntimeError):
+            with cost.mlp_batch():
+                raise RuntimeError("boom")
+        assert cost._mlp_depth == 0
+        cost.key_loads(1)  # back to the dependent rate after unwind
+        assert cost.counts["key_load"] == 1
+
+    def test_mlp_batch_underflow_is_guarded(self):
+        cost = CostModel()
+        cm = cost.mlp_batch()
+        cm.__enter__()
+        cost._mlp_depth = 0  # simulate corrupted bookkeeping
+        with pytest.raises(AssertionError):
+            cm.__exit__(None, None, None)
+
+
+class TestRebateResidues:
+    """rebate_delta / charge_parallel never leave negative residues."""
+
+    def test_rebate_under_foreign_attribution_stays_clean(self):
+        cost = CostModel()
+        with cost.attributed_to("original"):
+            with cost.measure() as delta:
+                cost.rand_lines(3)
+        with cost.attributed_to("other"):
+            cost.compares(1)
+            cost.rebate_delta(delta)
+        # Global ledger rebated; neither tag picked up negative counts.
+        assert cost.counts["rand_line"] == 0
+        assert cost.tagged["original"] == {"rand_line": 3}
+        assert "rand_line" not in cost.tagged.get("other", {})
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["rand_line", "key_load", "compare"]),
+                st.integers(min_value=1, max_value=5),
+                st.sampled_from(["", "a", "b"]),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_measure_rebate_interleavings(self, steps, width):
+        cost = CostModel()
+        deltas = []
+        for category, count, tag, rebate_now in steps:
+            if tag:
+                with cost.attributed_to(tag):
+                    with cost.measure() as delta:
+                        cost.charge(category, count)
+            else:
+                with cost.measure() as delta:
+                    cost.charge(category, count)
+            if rebate_now:
+                # Interleave: rebate immediately under a different tag.
+                with cost.attributed_to("rebater"):
+                    cost.rebate_delta(delta)
+            else:
+                deltas.append(delta)
+        if deltas:
+            cost.charge_parallel(deltas, width, coordination_units=0.5)
+        for category, count in cost.counts.items():
+            assert count >= 0, (category, cost.counts)
+        for tag, bucket in cost.tagged.items():
+            for category, count in bucket.items():
+                assert count >= 0, (tag, category, cost.tagged)
+        assert cost.weighted_cost() >= 0.0
+
+    def test_charge_parallel_with_wave_priced_deltas(self):
+        # Wave-priced deltas rebate exactly what they charged (fees
+        # included): composition, not double discount.
+        cost = CostModel()
+        deltas = []
+        for _ in range(4):
+            with cost.measure() as delta:
+                with cost.mlp_window(4):
+                    cost.wave_loads("rand_line", 4)
+            deltas.append(delta)
+        serial_sum, critical = cost.charge_parallel(deltas, width=4)
+        assert serial_sum == pytest.approx(4 * 1.1)
+        assert critical == pytest.approx(1.1)
+        assert cost.counts["rand_line"] == 1
+        assert cost.counts["wave_issue"] == 1
+        assert all(c >= 0 for c in cost.counts.values())

@@ -1,7 +1,14 @@
 """Tests for the markdown report generator."""
 
+import json
+
 from repro.bench.harness import ExperimentResult
-from repro.bench.report import build_report, result_to_markdown, save_report
+from repro.bench.report import (
+    build_report,
+    perf_trajectory,
+    result_to_markdown,
+    save_report,
+)
 
 
 def sample_result():
@@ -47,3 +54,42 @@ class TestBuildReport:
         path = tmp_path / "report.md"
         save_report([sample_result()], str(path), timestamp="2026-07-05")
         assert "figX" in path.read_text()
+
+
+class TestPerfTrajectory:
+    def test_committed_baselines_render_complete_table(self):
+        # Against the real repo root: all five baselines are committed,
+        # so no row may be missing and every saving must be positive.
+        text = perf_trajectory()
+        lines = text.split("\n")
+        assert lines[0].startswith("| baseline | mechanism |")
+        assert len(lines) == 2 + 5  # header + divider + five baselines
+        assert "missing" not in text
+        for line in lines[2:]:
+            saving = line.rsplit("|", 2)[-2].strip()
+            assert saving.endswith("%")
+            assert float(saving[:-1]) > 0.0, line
+        assert "prefetch-wave pricing (W=4)" in text
+
+    def test_missing_and_partial_baselines_get_missing_rows(self, tmp_path):
+        # An empty root: every row degrades to "missing", none dropped.
+        text = perf_trajectory(repo_root=str(tmp_path))
+        lines = text.split("\n")
+        assert len(lines) == 2 + 5
+        assert all("missing" in line for line in lines[2:])
+        # A baseline with one metric absent is partial, not a KeyError.
+        (tmp_path / "BENCH_mlp.json").write_text(
+            json.dumps({"mlp.elastic.w1_cost_units": 100.0})
+        )
+        text = perf_trajectory(repo_root=str(tmp_path))
+        mlp_row = [l for l in text.split("\n") if "BENCH_mlp" in l][0]
+        assert "missing" in mlp_row
+
+    def test_saving_arithmetic(self, tmp_path):
+        (tmp_path / "BENCH_batch.json").write_text(json.dumps({
+            "elastic.scalar_cost_units": 200.0,
+            "elastic.batch_cost_units": 50.0,
+        }))
+        text = perf_trajectory(repo_root=str(tmp_path))
+        batch_row = [l for l in text.split("\n") if "BENCH_batch" in l][0]
+        assert "75.0%" in batch_row
