@@ -4,18 +4,27 @@
 Runs the batch-lookup benchmark (``repro.bench.batch``), the
 sharded-engine benchmark (``repro.bench.shard``), the parallel
 scatter/gather benchmark (``repro.bench.parallel``), the adaptive
-cache benchmark (``repro.bench.cache``), and the prefetch-wave
-benchmark (``repro.bench.mlp``) in small, deterministic smoke
+cache benchmark (``repro.bench.cache``), the prefetch-wave
+benchmark (``repro.bench.mlp``), and the leaf-kind frontier benchmark
+(``repro.bench.learned``) in small, deterministic smoke
 configurations and compares their *weighted cost units* — which are
 exactly reproducible, unlike wall-clock — against the committed
 baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
-``BENCH_parallel.json``, ``BENCH_cache.json``, and ``BENCH_mlp.json``
-(``--list`` enumerates all five; a missing baseline fails loudly).
+``BENCH_parallel.json``, ``BENCH_cache.json``, ``BENCH_mlp.json``,
+and ``BENCH_learned.json``
+(``--list`` enumerates all six; a missing baseline fails loudly).
 The MLP gate asserts the wave-pricing contract: results byte-identical
 to serial pricing on every arm, wave-priced descents strictly cheaper
 than serial pricing at every W >= 2, W=1 reproducing today's batched
 counts exactly, and the elastic W=4 arm beating flat batched pricing
 by at least 20%.
+The learned gate asserts the three-point frontier contract: identical
+results on every arm, learned leaves strictly smaller than full and
+strictly cheaper per sorted-probe lookup than compact, the 3-way
+elastic arm never worse than the 2-way arm at the same soft bound,
+and an explicit ``leaf_kinds=("standard", "compact")`` build
+reproducing the default-config event counts exactly (the learned-off
+passthrough).
 Fails (exit 1) when any tracked cost metric regresses by more than
 25%, when the batch cost saving falls below the 30% acceptance floor,
 when the budget arbiter fails to strictly dominate the static
@@ -63,6 +72,7 @@ SHARD_BASELINE_PATH = os.path.join(REPO, "BENCH_shard.json")
 PARALLEL_BASELINE_PATH = os.path.join(REPO, "BENCH_parallel.json")
 CACHE_BASELINE_PATH = os.path.join(REPO, "BENCH_cache.json")
 MLP_BASELINE_PATH = os.path.join(REPO, "BENCH_mlp.json")
+LEARNED_BASELINE_PATH = os.path.join(REPO, "BENCH_learned.json")
 
 #: Every committed baseline this script gates on.  ``--list`` prints
 #: these; a gate whose baseline is missing fails loudly rather than
@@ -73,6 +83,7 @@ ALL_BASELINES = (
     ("parallel", PARALLEL_BASELINE_PATH),
     ("cache", CACHE_BASELINE_PATH),
     ("mlp", MLP_BASELINE_PATH),
+    ("learned", LEARNED_BASELINE_PATH),
 )
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
@@ -140,6 +151,18 @@ MLP_SMOKE = dict(
     seed=13,
     batch_size=256,
 )
+
+#: Leaf-kind frontier smoke: full vs compact vs learned vs 2-way and
+#: 3-way elastic arms at one derived soft bound (repro.bench.learned).
+LEARNED_SMOKE = dict(
+    n_keys=9_000,
+    query_count=2_048,
+    seed=29,
+    batch_size=256,
+)
+#: Every arm the learned smoke measures (metric key prefixes).
+LEARNED_ARMS = ("full", "compact", "learned", "elastic-2way",
+                "elastic-3way")
 
 
 def run_smoke():
@@ -212,6 +235,138 @@ def run_mlp_smoke():
         for width, cost in arm["per_width_cost_units"].items():
             metrics[f"mlp.{kind}.w{width}_cost_units"] = cost
     return result, metrics, meta
+
+
+def run_learned_smoke():
+    """The leaf-kind frontier smoke (observability left disabled)."""
+    from repro.bench import learned
+
+    result = learned.run(**LEARNED_SMOKE)
+    meta = result.meta
+    metrics = {}
+    for arm in LEARNED_ARMS:
+        stats = meta["arms"][arm]
+        metrics[f"learned.{arm}.index_bytes"] = stats["index_bytes"]
+        metrics[f"learned.{arm}.sorted_cost_units"] = (
+            stats["sorted_cost_units"]
+        )
+        metrics[f"learned.{arm}.zipf_cost_units"] = stats["zipf_cost_units"]
+    return result, metrics, meta
+
+
+def check_learned(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Frontier-contract + cost-regression checks for the learned smoke.
+
+    Contract: (a) result sets identical on every arm, (b) learned
+    leaves strictly smaller than full AND strictly cheaper per
+    sorted-probe lookup than compact (a genuine third frontier point),
+    (c) the 3-way elastic arm never worse than the 2-way arm on either
+    workload at the same soft bound, and (d) an explicit two-kind
+    ``leaf_kinds`` build reproducing the default-config event counts
+    exactly (learned-off passthrough).
+    """
+    failures = []
+    if not meta["results_identical"]:
+        failures.append(
+            "learned: result sets diverged across leaf kinds — the "
+            "representation must change cost accounting, never answers"
+        )
+    if not meta["learned_mem_lt_full"]:
+        failures.append(
+            "learned: learned arm not strictly smaller than full arm "
+            f"({meta['arms']['learned']['index_bytes']} vs "
+            f"{meta['arms']['full']['index_bytes']} bytes)"
+        )
+    if not meta["learned_cost_lt_compact"]:
+        failures.append(
+            "learned: learned arm not strictly cheaper than compact on "
+            "sorted probes "
+            f"({meta['arms']['learned']['sorted_cost_per_lookup']:.4f} vs "
+            f"{meta['arms']['compact']['sorted_cost_per_lookup']:.4f} "
+            "units/lookup)"
+        )
+    if not meta["elastic3_not_worse"]:
+        failures.append(
+            "learned: 3-way elastic arm worse than 2-way at the same "
+            "soft bound "
+            f"(sorted {meta['arms']['elastic-3way']['sorted_cost_per_lookup']:.4f}"
+            f" vs {meta['arms']['elastic-2way']['sorted_cost_per_lookup']:.4f},"
+            f" zipf {meta['arms']['elastic-3way']['zipf_cost_per_lookup']:.4f}"
+            f" vs {meta['arms']['elastic-2way']['zipf_cost_per_lookup']:.4f})"
+        )
+    if not meta["learned_off_exact"]:
+        failures.append(
+            "learned: explicit leaf_kinds=('standard', 'compact') build "
+            "did not reproduce the default-config costs exactly "
+            "(learned-off passthrough contract)"
+        )
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_learned_enabled_replay(base_metrics: dict) -> list:
+    """Replay the learned smoke with observability on: identical costs,
+    and the retrain/conversion activity must be visible as events."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, _ = run_learned_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    retrains = observer.registry.get("repro_leaf_retrains_total")
+    if retrains is None or retrains.total() == 0:
+        failures.append(
+            "enabled-replay: no leaf retrain metrics recorded — emission "
+            "is wired wrong"
+        )
+    events = observer.event_log("leaf_retrain")
+    if len(events) == 0:
+        failures.append("enabled-replay: no leaf_retrain events captured")
+    conversions = [
+        e for e in observer.event_log("leaf_conversion")
+        if e.direction == "to_learned"
+    ]
+    if len(conversions) == 0:
+        failures.append(
+            "enabled-replay: no to_learned leaf_conversion events captured"
+        )
+    if not failures:
+        print(
+            f"learned enabled-replay: cost identical; "
+            f"{len(events)} leaf_retrain and {len(conversions)} "
+            f"to_learned conversion events captured"
+        )
+    return failures
 
 
 def check_mlp(metrics: dict, meta: dict, baseline: dict) -> list:
@@ -747,6 +902,9 @@ def main() -> int:
     mlp_result, mlp_metrics, mlp_meta = run_mlp_smoke()
     print(mlp_result.render())
     print()
+    learned_result, learned_metrics, learned_meta = run_learned_smoke()
+    print(learned_result.render())
+    print()
 
     if args.update:
         payload = {"config": {k: list(v) if isinstance(v, tuple) else v
@@ -788,6 +946,14 @@ def main() -> int:
             json.dump(mlp_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {MLP_BASELINE_PATH}")
+        learned_payload = {
+            "config": dict(LEARNED_SMOKE),
+            **{k: round(v, 4) for k, v in learned_metrics.items()},
+        }
+        with open(LEARNED_BASELINE_PATH, "w") as fh:
+            json.dump(learned_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {LEARNED_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -833,6 +999,16 @@ def main() -> int:
         mlp_baseline = json.load(fh)
     failures.extend(check_mlp(mlp_metrics, mlp_meta, mlp_baseline))
     failures.extend(check_mlp_enabled_replay(mlp_metrics))
+
+    if not os.path.exists(LEARNED_BASELINE_PATH):
+        print(f"no baseline at {LEARNED_BASELINE_PATH}; run with --update")
+        return 1
+    with open(LEARNED_BASELINE_PATH) as fh:
+        learned_baseline = json.load(fh)
+    failures.extend(
+        check_learned(learned_metrics, learned_meta, learned_baseline)
+    )
+    failures.extend(check_learned_enabled_replay(learned_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

@@ -19,6 +19,11 @@ The facade groups the stable surface of the layered packages:
   baseline), plus the name registry (:func:`build_index`,
   :func:`register_index`, :func:`available_indexes`) for everything
   else;
+* **leaf kinds** — the pluggable conversion-target registry
+  (:class:`LeafKindRegistry`, :func:`register_leaf_kind`,
+  :func:`leaf_kind`, :func:`available_leaf_kinds`) and
+  :class:`LearnedLeaf`, the FITing-Tree style learned kind
+  (``ElasticConfig(leaf_kinds=("standard", "compact", "learned"))``);
 * **engine** — :class:`ShardedIndex` / :func:`build_sharded_index`,
   partitioners, :class:`BudgetArbiter`, and the scatter/gather
   executors (:class:`SerialShardExecutor`,
@@ -46,6 +51,13 @@ from __future__ import annotations
 
 from repro import obs
 from repro.btree import BPlusTree
+from repro.btree.kinds import (
+    LeafKindRegistry,
+    LeafKindSpec,
+    available_leaf_kinds,
+    leaf_kind,
+    register_leaf_kind,
+)
 from repro.cache import CacheConfig, CacheReport, CacheStats, IndexCache
 from repro.core.config import ElasticConfig
 from repro.core.elastic_btree import ElasticBPlusTree
@@ -71,11 +83,13 @@ from repro.errors import (
     ExecutorSaturatedError,
     IndexExistsError,
     InvalidBudgetError,
+    LeafKindError,
     ReproError,
     ShardConfigError,
     ShardConflictError,
 )
 from repro.exec import BatchExecutor
+from repro.learned import LearnedLeaf
 from repro.keys.encoding import encode_f64, encode_i64, encode_str, encode_u64
 from repro.memory.allocator import TrackingAllocator
 from repro.memory.budget import MemoryBudget, PressureState
@@ -101,6 +115,13 @@ __all__ = [
     "available_indexes",
     "build_index",
     "register_index",
+    # leaf kinds
+    "LeafKindRegistry",
+    "LeafKindSpec",
+    "LearnedLeaf",
+    "available_leaf_kinds",
+    "leaf_kind",
+    "register_leaf_kind",
     # engine
     "BudgetArbiter",
     "FaultPlan",
@@ -138,6 +159,7 @@ __all__ = [
     "ExecutorSaturatedError",
     "IndexExistsError",
     "InvalidBudgetError",
+    "LeafKindError",
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",

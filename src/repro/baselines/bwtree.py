@@ -32,7 +32,7 @@ _CONSOLIDATE_AT = 8
 class DeltaLeaf(LeafNode):
     """A Bw-tree leaf: immutable base arrays plus a delta chain."""
 
-    is_compact = False
+    kind = "delta"
 
     def __init__(
         self,

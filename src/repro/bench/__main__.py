@@ -21,7 +21,8 @@ import os
 import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
-from repro.bench import cache, latency, mlp, parallel, sec61, sec64, shard
+from repro.bench import cache, latency, learned, mlp, parallel, sec61, sec64
+from repro.bench import shard
 
 
 def _experiments(full: bool, events_dir=None):
@@ -73,6 +74,9 @@ def _experiments(full: bool, events_dir=None):
         ),
         "mlp": lambda: mlp.run(
             n_keys=50_000 * scale, query_count=4_096 * scale,
+        ),
+        "learned": lambda: learned.run(
+            n_keys=30_000 * scale, query_count=8_192 * scale,
         ),
     }
 

@@ -269,10 +269,10 @@ def run_cold_policy(n_items: int = 8_000, seed: int = 18) -> ExperimentResult:
             if leaf.count:
                 first = next(iter(leaf.items()))[0]
                 if first < boundary:
-                    if leaf.is_compact:
-                        compact += 1
-                    else:
+                    if leaf.kind == "standard":
                         standard += 1
+                    else:
+                        compact += 1
             leaf = leaf.next_leaf
         result.add_series(
             label,

@@ -29,6 +29,9 @@ _TRAJECTORY = (
      "cache.zipf.base_cost_units", "cache.zipf.cached_cost_units"),
     ("BENCH_mlp.json", "prefetch-wave pricing (W=4)",
      "mlp.elastic.w1_cost_units", "mlp.elastic.w4_cost_units"),
+    ("BENCH_learned.json", "learned leaves (3-way lattice)",
+     "learned.elastic-2way.sorted_cost_units",
+     "learned.elastic-3way.sorted_cost_units"),
 )
 
 

@@ -28,7 +28,8 @@ COMPACT_HEADER_BYTES = 24
 class CompactLeaf(LeafNode):
     """B+-tree leaf with a blind-trie representation and indirect keys."""
 
-    is_compact = True
+    kind = "compact"
+    indirect_keys = True
 
     def __init__(
         self,

@@ -46,8 +46,16 @@ class LeafFullError(Exception):
 class LeafNode(abc.ABC):
     """Abstract leaf ADT shared by standard and compact representations."""
 
-    #: True for blind-trie (indirect key storage) leaves.
-    is_compact: bool = False
+    #: Canonical leaf-kind discriminator.  Every concrete representation
+    #: declares its registered kind name (see :mod:`repro.btree.kinds`);
+    #: conversion machinery, stats, caching, and tooling dispatch on this
+    #: string instead of probing representation-specific booleans.
+    kind: str = "standard"
+
+    #: True when keys live behind tuple ids in the table (blind tries,
+    #: learned leaves) rather than inline — the representations whose
+    #: verify loads the adaptive row cache can short-circuit.
+    indirect_keys: bool = False
 
     #: Query-access counter maintained by elastic hosts, consumed by
     #: access-aware grow/shrink policies (section 4's future-work policy,
@@ -58,6 +66,16 @@ class LeafNode(abc.ABC):
     next_leaf: Optional["LeafNode"]
     prev_leaf: Optional["LeafNode"]
     node_id: int
+
+    @property
+    def is_compact(self) -> bool:
+        """Derived compatibility probe: ``kind == "compact"``.
+
+        :attr:`kind` is the canonical discriminator; this property is
+        kept for external callers and tests that still speak the paper's
+        two-point full/compact vocabulary.
+        """
+        return self.kind == "compact"
 
     # -- capacity -------------------------------------------------------
     @property
@@ -213,7 +231,7 @@ class StandardLeaf(LeafNode):
     and whose cache-resident keys make scans fast.
     """
 
-    is_compact = False
+    kind = "standard"
 
     def __init__(
         self,

@@ -26,9 +26,13 @@ class TreeStats:
     inner_nodes: int = 0
     leaf_count: int = 0
     compact_leaf_count: int = 0
+    learned_leaf_count: int = 0
+    #: Leaf count per registered kind (``"standard"``, ``"compact"``,
+    #: ``"learned"``, third-party names).
+    leaves_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Leaf count per representation/capacity class.  Keys are the
-    #: ``"<representation>/<capacity>"`` strings of :func:`_leaf_class`
-    #: (leaf class name, lower-cased, without the ``Leaf`` suffix), e.g.
+    #: ``"<kind>/<capacity>"`` strings of :func:`_leaf_class`
+    #: (:attr:`~repro.btree.leaves.LeafNode.kind`), e.g.
     #: ``"compact/128"`` or ``"standard/16"``.
     leaves_by_class: Dict[str, int] = field(default_factory=dict)
     #: Sum of count/capacity over leaves, divided by leaf_count.
@@ -43,10 +47,16 @@ class TreeStats:
             return 0.0
         return self.compact_leaf_count / self.leaf_count
 
+    @property
+    def learned_fraction(self) -> float:
+        """Fraction of leaves using the learned representation."""
+        if self.leaf_count == 0:
+            return 0.0
+        return self.learned_leaf_count / self.leaf_count
+
 
 def _leaf_class(leaf: "LeafNode") -> str:
-    name = type(leaf).__name__.replace("Leaf", "").lower() or "leaf"
-    return f"{name}/{leaf.capacity}"
+    return f"{leaf.kind}/{leaf.capacity}"
 
 
 def collect_stats(tree: "BPlusTree") -> TreeStats:
@@ -70,8 +80,12 @@ def collect_stats(tree: "BPlusTree") -> TreeStats:
             stack.extend(node.children)
         else:
             stats.leaf_count += 1
-            if node.is_compact:
+            kind = node.kind
+            if kind == "compact":
                 stats.compact_leaf_count += 1
+            elif kind == "learned":
+                stats.learned_leaf_count += 1
+            stats.leaves_by_kind[kind] = stats.leaves_by_kind.get(kind, 0) + 1
             cls = _leaf_class(node)
             stats.leaves_by_class[cls] = stats.leaves_by_class.get(cls, 0) + 1
             if node.capacity:

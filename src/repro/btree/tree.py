@@ -371,7 +371,7 @@ class BPlusTree:
             _, leaf, lo, hi = self._descend_fenced(key)
             tid = leaf.lookup(key)
             cache.admit_leaf(lo, hi, leaf, epoch)
-        if tid is not None and leaf.is_compact:
+        if tid is not None and leaf.indirect_keys:
             cache.admit_row(key, tid)
         return tid
 
@@ -399,7 +399,7 @@ class BPlusTree:
             groups = self._partition_descend(run)
             for leaf, lo, hi in groups:
                 hits = leaf.lookup_batch(run[lo:hi])
-                compact = cache is not None and leaf.is_compact
+                compact = cache is not None and leaf.indirect_keys
                 for offset, tid in enumerate(hits):
                     position = order[lo + offset]
                     if cache is not None:
@@ -521,10 +521,13 @@ class BPlusTree:
             return None
         self.last_write_set.append(leaf.node_id)
         self._count -= 1
-        # A root leaf has no siblings to rebalance with, but a *compact*
-        # root leaf must still see underflow events so the elasticity
-        # algorithm can step it back down the ladder.
-        if leaf.count < leaf.underflow_threshold and (path or leaf.is_compact):
+        # A root leaf has no siblings to rebalance with, but a
+        # *converted* (indirect-key) root leaf must still see underflow
+        # events so the elasticity algorithm can step it back down the
+        # ladder.
+        if leaf.count < leaf.underflow_threshold and (
+            path or leaf.indirect_keys
+        ):
             self.underflow_handler(self, path, leaf)
         return tid
 
@@ -646,13 +649,17 @@ class BPlusTree:
 
     def _is_append(self, leaf: LeafNode, key: bytes) -> bool:
         """Whether ``key`` lands past the rightmost leaf's maximum —
-        standard leaves check in place; compact leaves load their last
-        key from the table (one charged access, on the rare split path)."""
+        standard leaves check in place; indirect-key leaves (compact,
+        learned) load their last key from the table (one charged access,
+        on the rare split path)."""
         if isinstance(leaf, StandardLeaf):
             return bool(leaf.keys) and key > leaf.keys[-1]
-        take_last = getattr(leaf, "rep", None)
-        if take_last is not None:
-            return key > take_last.key_at(take_last.n - 1)
+        rep = getattr(leaf, "rep", None)
+        if rep is not None:
+            return key > rep.key_at(rep.n - 1)
+        last_key = getattr(leaf, "last_key", None)
+        if last_key is not None and leaf.count:
+            return key > last_key()
         return False
 
     def insert_separator(self, path: Path, separator: bytes, right: Node) -> None:

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.btree.kinds import leaf_kind
 from repro.btree.leaves import LeafNode
 from repro.btree.stats import TreeStats, collect_stats
 from repro.btree.tree import BPlusTree
 from repro.core.config import ElasticConfig
+from repro.errors import LeafKindError
 from repro.core.elasticity import ElasticityController
 from repro.core.policies import GrowShrinkPolicy
 from repro.memory.allocator import TrackingAllocator
@@ -57,6 +59,24 @@ class ElasticBPlusTree(BPlusTree):
         self.controller = ElasticityController(config, table, policy)
         self.controller.attach(self)
 
+    def attach_cache(self, cache) -> None:
+        """Attach an adaptive read cache; every enabled leaf kind must
+        support caching (:attr:`~repro.btree.kinds.LeafKindSpec.
+        cache_supported`).
+
+        Raises:
+            LeafKindError: naming the first enabled kind that cannot be
+                cached.
+        """
+        for kind_name in self.config.leaf_kinds:
+            if not leaf_kind(kind_name).cache_supported:
+                raise LeafKindError(
+                    f"leaf kind {kind_name!r} does not support the "
+                    "adaptive cache; drop it from leaf_kinds or skip "
+                    "attach_cache"
+                )
+        super().attach_cache(cache)
+
     # ------------------------------------------------------------------
     # Search hooks (expansion-state random splits, section 4)
     # ------------------------------------------------------------------
@@ -80,7 +100,7 @@ class ElasticBPlusTree(BPlusTree):
         if leaf is not None:
             leaf.access_count += 1
             result = leaf.lookup(key)
-            if result is not None and leaf.is_compact:
+            if result is not None and leaf.indirect_keys:
                 cache.admit_row(key, result)
             self.controller.run_pending()
             return result
@@ -88,7 +108,7 @@ class ElasticBPlusTree(BPlusTree):
         leaf.access_count += 1
         result = leaf.lookup(key)
         cache.admit_leaf(lo, hi, leaf, epoch)
-        if result is not None and leaf.is_compact:
+        if result is not None and leaf.indirect_keys:
             cache.admit_row(key, result)
         self.controller.on_search_leaf(path, leaf)
         self.controller.run_pending()
@@ -145,7 +165,7 @@ class ElasticBPlusTree(BPlusTree):
             for leaf, lo, hi in groups:
                 leaf.access_count += hi - lo
                 hits = leaf.lookup_batch(run[lo:hi])
-                compact = cache is not None and leaf.is_compact
+                compact = cache is not None and leaf.indirect_keys
                 for offset, tid in enumerate(hits):
                     position = order[lo + offset]
                     if cache is not None:
@@ -184,18 +204,30 @@ class ElasticBPlusTree(BPlusTree):
     def _run_deferred_expansion(
         self, visited: List[Tuple[LeafNode, int]]
     ) -> None:
-        """Give each visited compact leaf its deferred expansion chances.
+        """Give each visited converted leaf its deferred expansion chances.
 
         Mirrors the scalar path's ``on_search_leaf`` per query: a leaf a
         batch touched ``times`` times gets up to ``times`` split chances.
         Each attempt re-descends for a fresh path (the batch partition is
         stale once any split lands), and stops once the leaf is replaced.
+        Outside the expanding state, only churn-heavy learned leaves get
+        visits — the scalar path demotes those on any search while
+        memory allows (DESIGN.md §11).
         """
-        if self.controller.budget.state is not PressureState.EXPANDING:
-            return
+        state = self.controller.budget.state
+        if state is not PressureState.EXPANDING:
+            if state is PressureState.SHRINKING:
+                return
+            retrains = self.controller.config.learned_churn_retrains
+            visited = [
+                (leaf, times) for leaf, times in visited
+                if leaf.kind == "learned" and leaf.retrain_count >= retrains
+            ]
+            if not visited:
+                return
         for leaf, times in visited:
             for _ in range(times):
-                if not leaf.is_compact or leaf.count < 2:
+                if leaf.kind == "standard" or leaf.count < 2:
                     break
                 path, found = self.descend(leaf.first_key())
                 if found is not leaf:
@@ -227,16 +259,16 @@ class ElasticBPlusTree(BPlusTree):
         return collect_stats(self)
 
     def check_elastic_invariants(self) -> None:
-        """Structural checks plus the elastic fill invariant: compact
+        """Structural checks plus the elastic fill invariant: converted
         leaves of capacity 2k hold at least k+1 keys, except transiently
         right after a conversion (which leaves them exactly full at the
-        lower capacity) or an expansion split (half full)."""
+        lower capacity) or an expansion split (half full).  Applies to
+        every converted kind on the capacity ladder (compact, learned,
+        third-party registrations)."""
         self.check_invariants(strict_fill=False)
-        from repro.blindi.leaf import CompactLeaf
-
         leaf = self.first_leaf
         while leaf is not None:
-            if isinstance(leaf, CompactLeaf):
+            if leaf.kind != "standard":
                 assert leaf.capacity <= self.config.max_compact_capacity
                 assert leaf.capacity >= 2 * self.leaf_capacity
                 # Never beyond capacity, never empty while chained.

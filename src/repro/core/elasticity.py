@@ -2,18 +2,24 @@
 
 The controller monitors index size against the soft bound (with
 hysteresis, via :class:`~repro.memory.budget.MemoryBudget`) and converts
-leaves between the standard and compact representations:
+leaves between the registered leaf kinds (:mod:`repro.btree.kinds`):
 
 * **Shrinking**: an insertion that overflows a full standard leaf
-  replaces it with a compact leaf of double the capacity instead of
+  replaces it with a converted leaf of double the capacity instead of
   splitting — saving the leaf space *and* the separator insertions in
-  the ancestors.  Overflowing compact leaves double their capacity up
+  the ancestors.  The target kind comes from the policy's
+  ``conversion_target`` hook (the paper's two-point dial always picks
+  ``"compact"``; with learned leaves enabled, read-hot leaves go
+  ``"learned"``).  Overflowing converted leaves double their capacity up
   the ladder (32 -> 64 -> 128); at the cap they split.
-* **Underflow** of a compact leaf (below the k+1 invariant) steps it
+* **Underflow** of a converted leaf (below the k+1 invariant) steps it
   down the ladder, eventually reverting to a standard leaf.
-* **Expanding**: searches that terminate at a compact leaf randomly
+* **Expanding**: searches that terminate at a converted leaf randomly
   split it down the ladder, so popular leaves regain standard-leaf
   performance even without removals.
+* **Churn fallback**: learned leaves whose mutation rate forces repeated
+  retrains are split back toward the full representation whenever the
+  budget is not shrinking (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -24,9 +30,11 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.blindi.leaf import CompactLeaf
+from repro.btree.kinds import LeafKindContext, leaf_kind
 from repro.btree.leaves import LeafNode
 from repro.btree.tree import BPlusTree, Path
 from repro.core.config import ElasticConfig
+from repro.learned.leaf import LearnedLeaf
 from repro.core.policies import GrowShrinkPolicy, PaperPolicy
 from repro.memory.budget import MemoryBudget, PressureState
 from repro.obs import (
@@ -43,10 +51,15 @@ class ElasticityStats:
     breakdown experiment, section 6.1)."""
 
     conversions_to_compact: int = 0
+    conversions_to_learned: int = 0
+    #: Conversions into registered third-party kinds.
+    conversions_other: int = 0
     capacity_promotions: int = 0
     capacity_stepdowns: int = 0
     reversions_to_standard: int = 0
     expansion_splits: int = 0
+    #: Churn-heavy learned leaves split back toward full representation.
+    churn_splits: int = 0
     state_transitions: int = 0
     #: Weighted cost units spent inside conversion work.
     conversion_cost_units: float = 0.0
@@ -72,6 +85,8 @@ class ElasticityController:
         self.rng = random.Random(config.rng_seed)
         self.stats = ElasticityStats()
         self.tree: Optional[BPlusTree] = None
+        #: Hook context handed to leaf-kind build hooks; set by attach().
+        self.kind_context: Optional[LeafKindContext] = None
         #: Deferred policy actions: state-change hooks fire inside
         #: overflow/underflow handling, where structural rewrites of
         #: unrelated leaves would invalidate the in-flight operation's
@@ -85,6 +100,9 @@ class ElasticityController:
     def attach(self, tree: BPlusTree) -> None:
         """Install the elastic overflow/underflow handlers on ``tree``."""
         self.tree = tree
+        self.kind_context = LeafKindContext(
+            tree=tree, table=self.table, config=self.config
+        )
         tree.overflow_handler = self._handle_overflow
         tree.underflow_handler = self._handle_underflow
 
@@ -100,6 +118,7 @@ class ElasticityController:
         if (
             state is PressureState.EXPANDING
             and self.tree.allocator.bytes_in("leaf.compact") == 0
+            and self.tree.allocator.bytes_in("leaf.learned") == 0
         ):
             # Fully decompacted: expansion is complete.
             self.budget.settle()
@@ -166,6 +185,23 @@ class ElasticityController:
         leaf.elastic_underflow = True
         return leaf
 
+    def _build_kind(
+        self, kind: str, items, capacity: Optional[int] = None
+    ) -> LeafNode:
+        """Build a leaf of registered ``kind`` via its hooks."""
+        assert self.kind_context is not None, "attach() first"
+        return leaf_kind(kind).from_sorted(self.kind_context, items, capacity)
+
+    def _count_conversion(self, kind: str, n: int = 1) -> None:
+        if kind == "compact":
+            self.stats.conversions_to_compact += n
+        elif kind == "learned":
+            self.stats.conversions_to_learned += n
+        elif kind == "standard":
+            self.stats.reversions_to_standard += n
+        else:
+            self.stats.conversions_other += n
+
     # ------------------------------------------------------------------
     # Overflow: shrink by converting instead of splitting
     # ------------------------------------------------------------------
@@ -177,21 +213,30 @@ class ElasticityController:
         if action == "split":
             tree.split_leaf_and_insert(path, leaf, key, tid)
             return
-        promoted = isinstance(leaf, CompactLeaf)
+        target = self.policy.conversion_target(self, leaf, state)
+        promoted = leaf.kind == target and leaf.kind != "standard"
         old_capacity = leaf.capacity
+        old_kind = leaf.kind
         with tree.cost.measure() as delta, \
                 tree.cost.attributed_to("elastic.convert"):
             if promoted:
                 new_leaf = leaf.with_capacity(leaf.capacity * 2)
                 self.stats.capacity_promotions += 1
             else:
-                # Converting a standard leaf: its keys are in memory, so
-                # building the blind trie needs no table loads.
+                # Converting a standard leaf keeps its in-memory keys;
+                # cross-kind fallback (churn-heavy learned -> compact)
+                # re-materializes them via batched table loads.  Either
+                # way the new leaf starts one rung up so the pending
+                # insert fits.
+                if leaf.kind == "standard":
+                    capacity = 2 * tree.leaf_capacity
+                else:
+                    capacity = leaf.capacity * 2
                 keys, tids = leaf.keys_and_tids()
-                new_leaf = self._make_compact(
-                    2 * tree.leaf_capacity, items=list(zip(keys, tids))
+                new_leaf = self._build_kind(
+                    target, list(zip(keys, tids)), capacity
                 )
-                self.stats.conversions_to_compact += 1
+                self._count_conversion(target)
             tree.replace_leaf(path, leaf, new_leaf)
         self.stats.conversion_cost_units += delta.weighted_cost()
         if obs.is_enabled():
@@ -205,10 +250,11 @@ class ElasticityController:
                 ))
             else:
                 obs.emit(LeafConversionEvent(
-                    direction="to_compact", trigger="overflow",
+                    direction=f"to_{target}", trigger="overflow",
                     node_id=new_leaf.node_id, capacity=new_leaf.capacity,
                     count=new_leaf.count, index_bytes=tree.index_bytes,
                     cost_units=delta.weighted_cost(),
+                    from_kind=old_kind,
                 ))
         new_leaf.upsert(key, tid)
 
@@ -220,11 +266,12 @@ class ElasticityController:
     ) -> None:
         state = self.observe()
         action = self.policy.underflow_action(self, leaf, state)
-        if action == "rebalance" or not isinstance(leaf, CompactLeaf):
+        if action == "rebalance" or leaf.kind == "standard":
             tree.rebalance_leaf(path, leaf)
             return
         half = leaf.capacity // 2
         old_capacity = leaf.capacity
+        old_kind = leaf.kind
         stepped_down = half > tree.leaf_capacity
         with tree.cost.measure() as delta, \
                 tree.cost.attributed_to("elastic.convert"):
@@ -254,6 +301,7 @@ class ElasticityController:
                     node_id=new_leaf.node_id, capacity=tree.leaf_capacity,
                     count=new_leaf.count, index_bytes=tree.index_bytes,
                     cost_units=delta.weighted_cost(),
+                    from_kind=old_kind,
                 ))
         self.observe()
 
@@ -263,28 +311,58 @@ class ElasticityController:
     def on_search_leaf(self, path: Path, leaf: LeafNode) -> bool:
         """Called by the elastic tree after a search terminates at
         ``leaf``; may split the leaf down the ladder (section 4,
-        "Expansion").  Returns True if the leaf was replaced."""
+        "Expansion"), or — for churn-heavy learned leaves — split it
+        back toward the full representation whenever memory allows
+        (DESIGN.md §11).  Returns True if the leaf was replaced."""
+        if (
+            leaf.kind == "learned"
+            and leaf.count >= 2
+            and leaf.retrain_count >= self.config.learned_churn_retrains
+            and self.budget.state is not PressureState.SHRINKING
+        ):
+            self._split_down(path, leaf, trigger="churn")
+            return True
         if self.budget.state is not PressureState.EXPANDING:
             return False
-        if not isinstance(leaf, CompactLeaf) or leaf.count < 2:
+        if leaf.kind == "standard" or leaf.count < 2:
             return False
         probability = self.policy.expansion_split_probability(self, leaf)
         if probability <= 0.0 or self.rng.random() >= probability:
             return False
-        self._expansion_split(path, leaf)
+        self._split_down(path, leaf)
         return True
 
-    def _expansion_split(self, path: Path, leaf: CompactLeaf) -> None:
+    def _split_down(
+        self, path: Path, leaf: LeafNode, trigger: str = "expansion"
+    ) -> None:
         tree = self.tree
         assert tree is not None
         half = leaf.capacity // 2
         old_capacity = leaf.capacity
-        split_compact = half > tree.leaf_capacity
+        old_kind = leaf.kind
+        split_converted = half > tree.leaf_capacity
         with tree.cost.measure() as delta:
-            if split_compact:
+            if split_converted and isinstance(leaf, CompactLeaf):
                 right_rep = leaf.rep.split()
                 left: LeafNode = self._make_compact(half, rep=leaf.rep)
                 right: LeafNode = self._make_compact(half, rep=right_rep)
+            elif split_converted:
+                # Learned (or third-party) kinds have no in-place rep
+                # split: re-materialize and rebuild both halves.
+                keys, tids = leaf.keys_and_tids()
+                mid = len(keys) // 2
+                left = self._build_kind(
+                    old_kind, list(zip(keys[:mid], tids[:mid])), half
+                )
+                right = self._build_kind(
+                    old_kind, list(zip(keys[mid:], tids[mid:])), half
+                )
+                if trigger == "churn":
+                    # Keep the churn verdict sticky so the halves keep
+                    # descending the ladder instead of re-promoting.
+                    for node in (left, right):
+                        if isinstance(node, LearnedLeaf):
+                            node.retrain_count = leaf.retrain_count
             else:
                 keys, tids = leaf.keys_and_tids()
                 mid = len(keys) // 2
@@ -294,15 +372,18 @@ class ElasticityController:
             tree.replace_leaf(path, leaf, left)
             right.link_after(left)
             tree.insert_separator(path, separator, right)
-        self.stats.expansion_splits += 1
+        if trigger == "churn":
+            self.stats.churn_splits += 1
+        else:
+            self.stats.expansion_splits += 1
         self.stats.conversion_cost_units += delta.weighted_cost()
         if obs.is_enabled():
             index_bytes = tree.index_bytes
             cost_units = delta.weighted_cost()
             for node in (left, right):
-                if split_compact:
+                if split_converted:
                     obs.emit(CapacityChangeEvent(
-                        direction="halve", trigger="expansion",
+                        direction="halve", trigger=trigger,
                         node_id=node.node_id, old_capacity=old_capacity,
                         new_capacity=half, count=node.count,
                         index_bytes=index_bytes,
@@ -310,12 +391,16 @@ class ElasticityController:
                     ))
                 else:
                     obs.emit(LeafConversionEvent(
-                        direction="to_standard", trigger="expansion",
+                        direction="to_standard", trigger=trigger,
                         node_id=node.node_id, capacity=tree.leaf_capacity,
                         count=node.count, index_bytes=index_bytes,
                         cost_units=cost_units / 2,
+                        from_kind=old_kind,
                     ))
         self.observe()
+
+    # Backwards-compatible alias (pre-registry name).
+    _expansion_split = _split_down
 
     # ------------------------------------------------------------------
     # Cold-first sweeps (ColdFirstPolicy: section 4's future-work policy)
@@ -323,17 +408,20 @@ class ElasticityController:
     def compact_cold_sweep(
         self, hand_key: Optional[bytes], sweep_len: int = 16
     ) -> Optional[bytes]:
-        """CLOCK-style sweep converting cold standard leaves.
+        """CLOCK-style sweep converting cold leaves to the cold kind.
 
         Advances a clock hand over up to ``sweep_len`` leaves starting at
         ``hand_key`` (the whole index, incrementally, over many sweeps):
-        standard leaves that were never queried since the last visit are
-        converted to the compact representation; queried ones get a
-        second chance (their access counter is halved).  Returns the new
-        hand position, or ``None`` when the sweep wrapped.
+        leaves that were never queried since the last visit are converted
+        to the coldest enabled kind (compact when available — cold leaves
+        take the smallest representation, even cold *learned* leaves);
+        queried ones get a second chance (their access counter is
+        halved).  Returns the new hand position, or ``None`` when the
+        sweep wrapped.
         """
         tree = self.tree
         assert tree is not None
+        cold_kind = self._cold_kind()
         if hand_key is None:
             leaf: Optional[LeafNode] = tree.first_leaf
         else:
@@ -341,9 +429,13 @@ class ElasticityController:
         steps = 0
         while leaf is not None and steps < sweep_len:
             successor = leaf.next_leaf
-            if not leaf.is_compact and leaf.count > 0:
+            if (
+                cold_kind is not None
+                and leaf.kind != cold_kind
+                and leaf.count > 0
+            ):
                 if leaf.access_count == 0:
-                    self._compact_cold_leaf(leaf)
+                    self._convert_cold_leaf(leaf, cold_kind)
                 else:
                     leaf.access_count >>= 1  # aging (second chance)
             steps += 1
@@ -353,12 +445,19 @@ class ElasticityController:
             return None
         return leaf.first_key()
 
-    def _compact_cold_leaf(self, leaf: LeafNode) -> None:
+    def _cold_kind(self) -> Optional[str]:
+        kinds = self.config.conversion_kinds
+        if "compact" in kinds:
+            return "compact"
+        return kinds[0] if kinds else None
+
+    def _convert_cold_leaf(self, leaf: LeafNode, kind: str) -> None:
         tree = self.tree
         assert tree is not None
         path, found = tree.descend(leaf.first_key())
         if found is not leaf:  # structure moved under the sweep
             return
+        old_kind = leaf.kind
         with tree.cost.measure() as delta, \
                 tree.cost.attributed_to("elastic.convert"):
             keys, tids = leaf.keys_and_tids()
@@ -366,51 +465,72 @@ class ElasticityController:
                 self.config.max_compact_capacity,
                 max(2 * tree.leaf_capacity, 1 << max(0, leaf.count - 1).bit_length()),
             )
-            new_leaf = self._make_compact(capacity, items=list(zip(keys, tids)))
+            new_leaf = self._build_kind(kind, list(zip(keys, tids)), capacity)
             tree.replace_leaf(path, leaf, new_leaf)
-        self.stats.conversions_to_compact += 1
+        self._count_conversion(kind)
         self.stats.conversion_cost_units += delta.weighted_cost()
         if obs.is_enabled():
             obs.emit(LeafConversionEvent(
-                direction="to_compact", trigger="cold_sweep",
+                direction=f"to_{kind}", trigger="cold_sweep",
                 node_id=new_leaf.node_id, capacity=new_leaf.capacity,
                 count=new_leaf.count, index_bytes=tree.index_bytes,
                 cost_units=delta.weighted_cost(),
+                from_kind=old_kind,
             ))
 
     # ------------------------------------------------------------------
-    # Bulk compaction (EagerCompactionPolicy / ablation)
+    # Bulk conversion (EagerCompactionPolicy / ablation / bench arms)
     # ------------------------------------------------------------------
-    def bulk_compact(self) -> int:
-        """Convert every standard leaf to a compact leaf at once.
+    def bulk_convert(self, kind: str = "compact") -> int:
+        """Convert every leaf not already of ``kind`` at once.
 
-        Models wholesale compaction (hybrid indexes, section 2); returns
-        the number of leaves converted.
+        Models wholesale compaction (hybrid indexes, section 2) for
+        ``kind="compact"``; other registered kinds give bench drivers
+        static all-learned / all-standard arms.  Leaves whose contents
+        do not fit the target (reverting an over-full converted leaf to
+        ``"standard"``) are skipped — underflow/expansion handles those
+        incrementally.  Returns the number of leaves converted.
+
+        Raises:
+            LeafKindError: if ``kind`` is not registered.
         """
+        leaf_kind(kind)  # typed unknown-kind error before any work
         tree = self.tree
         assert tree is not None
         converted = 0
         for path, node in list(tree.iter_leaves_with_paths()):
-            if isinstance(node, CompactLeaf) or node.count == 0:
+            if node.kind == kind or node.count == 0:
                 continue
+            if kind == "standard" and node.count > tree.leaf_capacity:
+                continue
+            old_kind = node.kind
             keys, tids = node.keys_and_tids()
-            capacity = max(
-                2 * tree.leaf_capacity, 1 << (node.count - 1).bit_length()
-            )
-            capacity = min(capacity, self.config.max_compact_capacity)
+            if kind == "standard":
+                capacity: Optional[int] = None
+            else:
+                capacity = max(
+                    2 * tree.leaf_capacity, 1 << (node.count - 1).bit_length()
+                )
+                capacity = min(capacity, self.config.max_compact_capacity)
             with tree.cost.measure() as delta:
-                new_leaf = self._make_compact(
-                    capacity, items=list(zip(keys, tids))
+                new_leaf = self._build_kind(
+                    kind, list(zip(keys, tids)), capacity
                 )
                 tree.replace_leaf(path, node, new_leaf)
             converted += 1
             if obs.is_enabled():
                 obs.emit(LeafConversionEvent(
-                    direction="to_compact", trigger="bulk",
+                    direction=f"to_{kind}", trigger="bulk",
                     node_id=new_leaf.node_id, capacity=new_leaf.capacity,
                     count=new_leaf.count, index_bytes=tree.index_bytes,
                     cost_units=delta.weighted_cost(),
+                    from_kind=old_kind,
                 ))
-        self.stats.conversions_to_compact += converted
+        self._count_conversion(kind, converted)
         self.observe()
         return converted
+
+    def bulk_compact(self) -> int:
+        """Convert every standard leaf to a compact leaf at once
+        (backwards-compatible name for ``bulk_convert("compact")``)."""
+        return self.bulk_convert("compact")

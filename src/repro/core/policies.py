@@ -62,6 +62,47 @@ class GrowShrinkPolicy(abc.ABC):
     ) -> None:
         """Hook invoked when the pressure state changes."""
 
+    def conversion_target(
+        self,
+        controller: "ElasticityController",
+        leaf: "LeafNode",
+        state: PressureState,
+    ) -> str:
+        """Leaf kind an overflow conversion should produce.
+
+        Called only after :meth:`overflow_action` returned
+        ``"convert"``.  Returning the leaf's own (non-standard) kind
+        means a capacity-ladder promotion; returning a different kind
+        rebuilds the leaf as that kind one rung up.
+
+        The default implements the three-point frontier over
+        ``config.leaf_kinds``: standard leaves that absorbed at least
+        ``learned_hot_threshold`` queries convert to ``"learned"`` when
+        enabled (point probes stay fast while space shrinks), other
+        standard leaves take the first enabled conversion kind
+        (``"compact"`` in the paper's configuration), converted leaves
+        promote in-kind — except churn-heavy learned leaves
+        (``retrain_count >= learned_churn_retrains``), which fall over
+        to ``"compact"`` so mutations stop paying retrains.
+        """
+        config = controller.config
+        kinds = config.conversion_kinds
+        if leaf.kind != "standard":
+            if (
+                leaf.kind == "learned"
+                and "compact" in kinds
+                and getattr(leaf, "retrain_count", 0)
+                >= config.learned_churn_retrains
+            ):
+                return "compact"
+            return leaf.kind if leaf.kind in kinds else kinds[0]
+        if (
+            "learned" in kinds
+            and leaf.access_count >= config.learned_hot_threshold
+        ):
+            return "learned"
+        return kinds[0]
+
     def expansion_split_probability(
         self, controller: "ElasticityController", leaf: "LeafNode"
     ) -> float:
@@ -76,14 +117,19 @@ class PaperPolicy(GrowShrinkPolicy):
     def overflow_action(self, controller, leaf, state):
         if state is not PressureState.SHRINKING:
             return "split"
-        if leaf.is_compact and leaf.capacity >= controller.config.max_compact_capacity:
-            # Queries on very large compact leaves get too slow; cap the
-            # ladder and split instead (section 4).
+        if not controller.config.conversion_kinds:
+            return "split"  # nothing to convert to (standard-only config)
+        if (
+            leaf.kind != "standard"
+            and leaf.capacity >= controller.config.max_compact_capacity
+        ):
+            # Queries on very large converted leaves get too slow; cap
+            # the ladder and split instead (section 4).
             return "split"
         return "convert"
 
     def underflow_action(self, controller, leaf, state):
-        if leaf.is_compact:
+        if leaf.kind != "standard":
             return "stepdown"
         return "rebalance"
 
@@ -135,7 +181,7 @@ class ColdFirstPolicy(PaperPolicy):
         action = super().overflow_action(controller, leaf, state)
         if (
             action == "convert"
-            and not leaf.is_compact
+            and leaf.kind == "standard"
             and leaf.access_count >= self.hot_threshold
         ):
             self._queue_sweep(controller)
@@ -167,8 +213,8 @@ class NeverCompactPolicy(GrowShrinkPolicy):
         return "split"
 
     def underflow_action(self, controller, leaf, state):
-        if leaf.is_compact:
-            return "stepdown"  # only reachable if leaves were pre-compacted
+        if leaf.kind != "standard":
+            return "stepdown"  # only reachable if leaves were pre-converted
         return "rebalance"
 
     def expansion_split_probability(self, controller, leaf):

@@ -28,6 +28,12 @@ The concrete classes map to the layers that raise them:
   never help: non-positive budgets, a cache budget at or above the index
   soft bound it is meant to compete under, malformed sketch/tier knobs
   (``repro.cache``, ``repro.db``).
+* :class:`LeafKindError` — an unknown or unsupported leaf kind: a
+  ``leaf_kinds`` selection naming a kind never registered with
+  :func:`repro.btree.kinds.register_leaf_kind`, registering a duplicate
+  kind without ``replace=True``, or attaching a :class:`CacheConfig` to
+  a tree whose kinds include one without cache support
+  (``repro.btree.kinds``, ``repro.core``).
 * :class:`ExecutorSaturatedError` — the parallel executor's pool could
   not accept work.  Engine paths never propagate it (they degrade to
   the serial backend instead); direct executor users opt in with
@@ -66,11 +72,16 @@ class CacheConfigError(ReproError):
     """An adaptive-cache configuration is invalid or cannot help."""
 
 
+class LeafKindError(ReproError):
+    """A leaf kind is unknown, duplicated, or unsupported in context."""
+
+
 __all__ = [
     "CacheConfigError",
     "ExecutorSaturatedError",
     "IndexExistsError",
     "InvalidBudgetError",
+    "LeafKindError",
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",

@@ -1,0 +1,36 @@
+"""FITing-Tree style learned leaves (arXiv 1801.10207).
+
+A :class:`~repro.learned.leaf.LearnedLeaf` replaces the in-leaf key
+array with a handful of piecewise-linear segments fitted over the key
+distribution with a hard error bound ``epsilon``: a lookup evaluates
+one linear model (a ``model_eval`` cost event) and then verifies at
+most a 2ε-wide window of indirect key loads against the table.  Keys
+themselves stay out of the leaf entirely — only tuple ids and the
+segment models are stored — so a learned leaf sits *between* the full
+(:class:`~repro.btree.leaves.StandardLeaf`) and compact
+(:class:`~repro.blindi.leaf.CompactLeaf`) representations on the
+paper's space/speed dial: less memory than full leaves, fewer cost
+units per probe than a blind trie on distributions the models fit
+well.  The elasticity controller treats it as a third conversion
+target (see :mod:`repro.btree.kinds` and DESIGN.md §11).
+"""
+
+from repro.learned.segments import (
+    SEGMENT_BYTES,
+    Segment,
+    fit_segments,
+)
+from repro.learned.leaf import (
+    LEARNED_HEADER_BYTES,
+    LearnedLeaf,
+    learned_leaf_factory,
+)
+
+__all__ = [
+    "LEARNED_HEADER_BYTES",
+    "LearnedLeaf",
+    "SEGMENT_BYTES",
+    "Segment",
+    "fit_segments",
+    "learned_leaf_factory",
+]

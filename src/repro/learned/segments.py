@@ -1,0 +1,109 @@
+"""Piecewise-linear segment fitting with a hard error bound.
+
+This is FITing-Tree's *shrinking cone* algorithm (arXiv 1801.10207,
+§3.1): walk the sorted keys once, maintaining the cone of slopes that
+keep every key seen so far within ``epsilon`` positions of its linear
+prediction from the segment origin.  When the next key would empty the
+cone, close the segment and start a new one at that key.  The result
+is the minimal set of origin-anchored segments for the bound, in one
+pass and O(1) state.
+
+Guarantee: for every key the segment was fitted over,
+
+    ``abs(segment.predict(key_int) - true_position) <= epsilon``
+
+(after integer rounding — positions are integers, so the half-unit
+rounding slack folds into the integral bound).  Predictions are
+clamped to the segment's fitted position range, which keeps
+extrapolation for *unfitted* probe keys inside the segment's span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: Modeled storage of one segment: 8 B truncated fence key, 8 B IEEE-754
+#: slope, 4 B base position, 4 B span — two half cache lines, matching
+#: FITing-Tree's in-node segment table entries.
+SEGMENT_BYTES = 24
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One linear model ``pos ~ base_pos + slope * (key - base_key)``."""
+
+    __slots__ = ("base_key", "base_pos", "last_pos", "slope")
+
+    base_key: int
+    base_pos: int
+    #: Position of the last key the cone was fitted over (inclusive);
+    #: predictions clamp into ``[base_pos, last_pos]``.
+    last_pos: int
+    slope: float
+
+    def predict(self, key_int: int) -> int:
+        """Predicted position of ``key_int``, clamped to the fitted span."""
+        raw = self.base_pos + self.slope * (key_int - self.base_key)
+        pos = int(raw + 0.5) if raw >= 0 else self.base_pos
+        if pos < self.base_pos:
+            return self.base_pos
+        if pos > self.last_pos:
+            return self.last_pos
+        return pos
+
+
+def fit_segments(key_ints: Sequence[int], epsilon: int) -> List[Segment]:
+    """Fit shrinking-cone segments over strictly increasing ``key_ints``.
+
+    ``epsilon`` is the maximum absolute prediction error, in positions,
+    for every fitted key.  Returns at least one segment for non-empty
+    input; empty input yields no segments.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    n = len(key_ints)
+    segments: List[Segment] = []
+    i = 0
+    while i < n:
+        base_key = key_ints[i]
+        slope_lo = float("-inf")
+        slope_hi = float("inf")
+        j = i + 1
+        while j < n:
+            dx = key_ints[j] - base_key
+            if dx <= 0:
+                raise ValueError("keys must be strictly increasing")
+            dy = j - i
+            cand_hi = (dy + epsilon) / dx
+            cand_lo = (dy - epsilon) / dx
+            new_hi = min(slope_hi, cand_hi)
+            new_lo = max(slope_lo, cand_lo)
+            if new_lo > new_hi:
+                break
+            slope_hi, slope_lo = new_hi, new_lo
+            j += 1
+        if j == i + 1:
+            slope = 0.0
+        else:
+            # Any slope in the cone satisfies the bound; the midpoint
+            # halves the worst-case error in practice.
+            slope = (slope_lo + slope_hi) / 2.0
+        segments.append(Segment(base_key, i, j - 1, slope))
+        i = j
+    return segments
+
+
+def locate_segment(segments: Sequence[Segment], key_int: int) -> int:
+    """Index of the segment covering ``key_int``: the last segment whose
+    ``base_key`` is <= the probe, clamped to the first segment for
+    probes below the fitted range.  Pure position logic — callers
+    charge the binary search's compares/branches themselves."""
+    lo, hi = 0, len(segments) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if segments[mid].base_key <= key_int:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo

@@ -49,6 +49,14 @@ Event categories
     structure.  Charged on every probe — hit *or* miss — so cached reads
     stay honestly accountable; calibrated at 0.1 (an order of magnitude
     under ``rand_line``, well above free).
+``model_eval``
+    One learned-model inference on the search path (``repro.learned``):
+    locating the covering linear segment (a short binary search over an
+    in-cache fence array) plus one fused multiply-add and a clamp to
+    predict a position.  Pure ALU work on data that the segment array's
+    small footprint keeps resident in L1/L2, so it overlaps the leaf's
+    line touch almost entirely; calibrated at 0.15 — above a ``compare``
+    (it is several of them plus the FMA) but well under any DRAM miss.
 ``wave_issue``
     Per-wave orchestration fee of prefetch-wave accounting (see
     :meth:`CostModel.mlp_window`): issuing a group of independent loads
@@ -89,6 +97,7 @@ class CostWeights:
     fixed_op: float = 1.0
     cache_hit: float = 0.1
     wave_issue: float = 0.1
+    model_eval: float = 0.15
 
     def as_dict(self) -> Dict[str, float]:
         """Return the weights as a plain dict keyed by category name.
@@ -278,6 +287,10 @@ class CostModel:
             stats.waves += complete
             stats.wave_units += complete * (weight + self.weights.wave_issue)
         window.pending[category] = remainder
+
+    def model_evals(self, n: int = 1) -> None:
+        """Charge ``n`` learned-model position predictions."""
+        self.charge("model_eval", n)
 
     def compares(self, n: int = 1) -> None:
         """Charge ``n`` key comparisons / bit tests."""

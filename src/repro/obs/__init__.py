@@ -45,6 +45,7 @@ from repro.obs.events import (
     EventBus,
     ExecutorDegradeEvent,
     LeafConversionEvent,
+    LeafRetrainEvent,
     MlpWaveEvent,
     ParallelGatherEvent,
     PolicyActionEvent,
@@ -88,6 +89,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LeafConversionEvent",
+    "LeafRetrainEvent",
     "MetricsRegistry",
     "MlpWaveEvent",
     "Observer",

@@ -47,15 +47,19 @@ class Event:
 
 @dataclass
 class LeafConversionEvent(Event):
-    """A leaf changed representation (compact <-> standard).
+    """A leaf changed representation (standard <-> compact <-> learned).
 
-    ``direction`` is ``"to_compact"`` or ``"to_standard"``; ``trigger``
-    names the elasticity mechanism that fired: ``"overflow"`` (shrink by
+    ``direction`` is ``"to_<kind>"`` for the target leaf kind —
+    ``"to_compact"``, ``"to_standard"`` or ``"to_learned"`` — which
+    makes the conversion counters per-kind for free; ``from_kind`` names
+    the source kind (empty on legacy emitters).  ``trigger`` names the
+    elasticity mechanism that fired: ``"overflow"`` (shrink by
     converting instead of splitting), ``"underflow"`` (revert at the
     bottom of the capacity ladder), ``"expansion"`` (random split of a
-    popular compact leaf back to standard leaves), ``"cold_sweep"``
-    (ColdFirstPolicy CLOCK hand) or ``"bulk"`` (EagerCompactionPolicy
-    wholesale compaction).
+    popular compact/learned leaf back to standard leaves), ``"churn"``
+    (a churn-heavy learned leaf falling back to full representation),
+    ``"cold_sweep"`` (ColdFirstPolicy CLOCK hand) or ``"bulk"``
+    (EagerCompactionPolicy / ``bulk_convert`` wholesale conversion).
     """
 
     kind: ClassVar[str] = "leaf_conversion"
@@ -66,6 +70,7 @@ class LeafConversionEvent(Event):
     count: int = 0
     index_bytes: int = 0
     cost_units: float = 0.0
+    from_kind: str = ""
 
 
 @dataclass
@@ -85,6 +90,27 @@ class CapacityChangeEvent(Event):
     new_capacity: int = 0
     count: int = 0
     index_bytes: int = 0
+    cost_units: float = 0.0
+
+
+@dataclass
+class LeafRetrainEvent(Event):
+    """A learned leaf refitted its piecewise-linear segments.
+
+    Emitted by :class:`~repro.learned.leaf.LearnedLeaf` whenever
+    accumulated drift forces a model rebuild (``trigger`` ``"drift"``)
+    or a structural operation refits wholesale (``"split"``,
+    ``"merge"``).  ``cost_units`` is the measured weighted cost of the
+    retrain — the key reloads plus the cone refit — billed like a
+    conversion, so churn against learned leaves is visible per event.
+    """
+
+    kind: ClassVar[str] = "leaf_retrain"
+    node_id: int = 0
+    trigger: str = ""
+    count: int = 0
+    segments: int = 0
+    retrain_count: int = 0
     cost_units: float = 0.0
 
 

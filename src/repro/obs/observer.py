@@ -29,6 +29,7 @@ from repro.obs.events import (
     EventBus,
     ExecutorDegradeEvent,
     LeafConversionEvent,
+    LeafRetrainEvent,
     MlpWaveEvent,
     ParallelGatherEvent,
     PolicyActionEvent,
@@ -78,6 +79,10 @@ class Observer:
         self._capacity_changes = reg.counter(
             "repro_capacity_changes_total",
             "Compact-leaf capacity ladder moves by direction and trigger.",
+        )
+        self._leaf_retrains = reg.counter(
+            "repro_leaf_retrains_total",
+            "Learned-leaf segment refits by trigger.",
         )
         self._pressure_transitions = reg.counter(
             "repro_pressure_transitions_total",
@@ -215,6 +220,11 @@ class Observer:
             self._index_bytes.set(event.index_bytes)
             self._conversion_cost.observe(
                 event.cost_units, kind="capacity", direction=event.direction
+            )
+        elif isinstance(event, LeafRetrainEvent):
+            self._leaf_retrains.inc(trigger=event.trigger)
+            self._conversion_cost.observe(
+                event.cost_units, kind="retrain", direction="refit"
             )
         elif isinstance(event, PressureTransitionEvent):
             self._pressure_transitions.inc(to=event.state)

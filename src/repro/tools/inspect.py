@@ -21,8 +21,12 @@ def format_size(nbytes: float) -> str:
     return f"{nbytes:.1f} GB"
 
 
+#: Dump glyph per leaf kind; unregistered/third-party kinds show "?".
+_KIND_GLYPHS = {"standard": "S", "compact": "C", "learned": "L", "delta": "D"}
+
+
 def _leaf_label(leaf) -> str:
-    kind = "C" if leaf.is_compact else "S"
+    kind = _KIND_GLYPHS.get(leaf.kind, "?")
     bar_width = 12
     filled = int(round(bar_width * leaf.count / max(1, leaf.capacity)))
     bar = "#" * filled + "." * (bar_width - filled)
@@ -36,8 +40,8 @@ def dump_tree(tree: BPlusTree, max_leaves: int = 40) -> str:
     """ASCII rendering of a B+-tree's structure.
 
     Inner nodes show separator counts; leaves show representation
-    (S=standard, C=compact), occupancy bars and sizes.  Output is
-    truncated after ``max_leaves`` leaves.
+    (S=standard, C=compact, L=learned), occupancy bars and sizes.
+    Output is truncated after ``max_leaves`` leaves.
     """
     lines: List[str] = [
         f"B+-tree: {len(tree)} items, height {tree.height}, "
@@ -146,17 +150,25 @@ def mlp_summary(target) -> str:
 
 
 def leaf_histogram(tree: BPlusTree, buckets: int = 10) -> str:
-    """Histogram of leaf occupancy, split by representation."""
+    """Histogram of leaf occupancy, split by representation kind."""
     standard = [0] * buckets
     compact = [0] * buckets
+    learned = [0] * buckets
+    other = [0] * buckets
+    columns = {"standard": standard, "compact": compact, "learned": learned}
     leaf = tree.first_leaf
     while leaf is not None:
         fraction = leaf.count / max(1, leaf.capacity)
         bucket = min(buckets - 1, int(fraction * buckets))
-        (compact if leaf.is_compact else standard)[bucket] += 1
+        columns.get(leaf.kind, other)[bucket] += 1
         leaf = leaf.next_leaf
-    lines = ["occupancy   standard  compact"]
+    lines = ["occupancy   standard  compact  learned"]
     for i in range(buckets):
         lo, hi = i * 100 // buckets, (i + 1) * 100 // buckets
-        lines.append(f"{lo:>3}-{hi}%   {standard[i]:>8}  {compact[i]:>7}")
+        lines.append(
+            f"{lo:>3}-{hi}%   {standard[i]:>8}  {compact[i]:>7}  "
+            f"{learned[i]:>7}"
+        )
+    if any(other):
+        lines.append(f"(+{sum(other)} leaves of other kinds)")
     return "\n".join(lines)
