@@ -5,14 +5,15 @@ Runs the batch-lookup benchmark (``repro.bench.batch``), the
 sharded-engine benchmark (``repro.bench.shard``), the parallel
 scatter/gather benchmark (``repro.bench.parallel``), the adaptive
 cache benchmark (``repro.bench.cache``), the prefetch-wave
-benchmark (``repro.bench.mlp``), and the leaf-kind frontier benchmark
-(``repro.bench.learned``) in small, deterministic smoke
+benchmark (``repro.bench.mlp``), the leaf-kind frontier benchmark
+(``repro.bench.learned``), and the divergent-replica cluster benchmark
+(``repro.bench.cluster``) in small, deterministic smoke
 configurations and compares their *weighted cost units* — which are
 exactly reproducible, unlike wall-clock — against the committed
 baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
 ``BENCH_parallel.json``, ``BENCH_cache.json``, ``BENCH_mlp.json``,
-and ``BENCH_learned.json``
-(``--list`` enumerates all six; a missing baseline fails loudly).
+``BENCH_learned.json``, and ``BENCH_cluster.json``
+(``--list`` enumerates all seven; a missing baseline fails loudly).
 The MLP gate asserts the wave-pricing contract: results byte-identical
 to serial pricing on every arm, wave-priced descents strictly cheaper
 than serial pricing at every W >= 2, W=1 reproducing today's batched
@@ -25,6 +26,13 @@ elastic arm never worse than the 2-way arm at the same soft bound,
 and an explicit ``leaf_kinds=("standard", "compact")`` build
 reproducing the default-config event counts exactly (the learned-off
 passthrough).
+The cluster gate asserts the divergent-replication contract: identical
+results on every arm, a divergent 3-replica cluster strictly beating
+three identical replicas at equal total memory (acceptance floor),
+``replicas=ReplicaConfig(replicas=1)`` byte-identical to the plain
+index, and a scripted mid-workload outage replaying deterministically
+with its failover visible as ``replica_failover`` events in the
+enabled replay.
 Fails (exit 1) when any tracked cost metric regresses by more than
 25%, when the batch cost saving falls below the 30% acceptance floor,
 when the budget arbiter fails to strictly dominate the static
@@ -73,6 +81,7 @@ PARALLEL_BASELINE_PATH = os.path.join(REPO, "BENCH_parallel.json")
 CACHE_BASELINE_PATH = os.path.join(REPO, "BENCH_cache.json")
 MLP_BASELINE_PATH = os.path.join(REPO, "BENCH_mlp.json")
 LEARNED_BASELINE_PATH = os.path.join(REPO, "BENCH_learned.json")
+CLUSTER_BASELINE_PATH = os.path.join(REPO, "BENCH_cluster.json")
 
 #: Every committed baseline this script gates on.  ``--list`` prints
 #: these; a gate whose baseline is missing fails loudly rather than
@@ -84,6 +93,7 @@ ALL_BASELINES = (
     ("cache", CACHE_BASELINE_PATH),
     ("mlp", MLP_BASELINE_PATH),
     ("learned", LEARNED_BASELINE_PATH),
+    ("cluster", CLUSTER_BASELINE_PATH),
 )
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
@@ -163,6 +173,18 @@ LEARNED_SMOKE = dict(
 #: Every arm the learned smoke measures (metric key prefixes).
 LEARNED_ARMS = ("full", "compact", "learned", "elastic-2way",
                 "elastic-3way")
+
+#: The divergent 3-replica cluster must beat three identical replicas
+#: at equal total memory by at least this saving (acceptance floor).
+CLUSTER_SAVING_FLOOR = 0.03
+
+#: Divergent-replica cluster smoke: uniform vs divergent 3-replica
+#: arms, replicas=1 passthrough, scripted failover (repro.bench.cluster).
+CLUSTER_SMOKE = dict(
+    n_keys=6_000,
+    ops=3_000,
+    seed=41,
+)
 
 
 def run_smoke():
@@ -252,6 +274,128 @@ def run_learned_smoke():
         )
         metrics[f"learned.{arm}.zipf_cost_units"] = stats["zipf_cost_units"]
     return result, metrics, meta
+
+
+def run_cluster_smoke(capture_events: bool = False):
+    """The divergent-cluster smoke (observability left disabled)."""
+    from repro.bench import cluster
+
+    result = cluster.run(capture_events=capture_events, **CLUSTER_SMOKE)
+    meta = result.meta
+    metrics = {
+        "cluster.uniform_cost_units": meta["uniform_cost_units"],
+        "cluster.divergent_cost_units": meta["divergent_cost_units"],
+        "cluster.single_cost_units": meta["single_cost_units"],
+        "cluster.r1_cost_units": meta["r1_cost_units"],
+        "cluster.failover_cost_units": meta["failover_cost_units"],
+    }
+    return result, metrics, meta
+
+
+def check_cluster(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Divergent-replication contract + cost-regression checks.
+
+    Contract: (a) identical results on every arm, (b) the divergent
+    3-replica cluster strictly beating three identical replicas at
+    equal total memory by at least the acceptance floor, (c)
+    ``replicas=ReplicaConfig(replicas=1)`` byte-identical to the plain
+    index (cost units, results and index bytes), and (d) the scripted
+    mid-workload outage replaying deterministically across repeats.
+    """
+    failures = []
+    if not meta["results_identical"]:
+        failures.append(
+            "cluster: result sets diverged across arms — replica "
+            "routing must change cost accounting, never answers"
+        )
+    if meta["divergent_saving"] < CLUSTER_SAVING_FLOOR:
+        failures.append(
+            f"cluster: divergent saving {meta['divergent_saving']:.3f} "
+            f"vs uniform replicas below floor {CLUSTER_SAVING_FLOOR} "
+            "at equal total memory"
+        )
+    if not meta["r1_exact"]:
+        failures.append(
+            "cluster: replicas=1 arm did not reproduce the plain index "
+            "exactly (single-replica passthrough contract)"
+        )
+    if not meta["failover_deterministic"]:
+        failures.append(
+            "cluster: scripted-outage arm did not replay to identical "
+            "results and cost units (failover determinism contract)"
+        )
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_cluster_enabled_replay(base_metrics: dict) -> list:
+    """Replay the cluster smoke with observability on: identical costs,
+    and the routing/failover activity must be visible as events."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, meta = run_cluster_smoke(capture_events=True)
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    routes = observer.registry.get("repro_replica_routes_total")
+    if routes is None or routes.total() == 0:
+        failures.append(
+            "enabled-replay: no replica route metrics recorded — "
+            "emission is wired wrong"
+        )
+    events = meta["failover_events"]
+    if not events.get("replica_route"):
+        failures.append(
+            "enabled-replay: no replica_route events captured in the "
+            "failover arm"
+        )
+    if not events.get("replica_failover"):
+        failures.append(
+            "enabled-replay: no replica_failover events captured — the "
+            "scripted outage was invisible"
+        )
+    if not events.get("cluster_budget"):
+        failures.append(
+            "enabled-replay: no cluster_budget event captured at build"
+        )
+    if not failures:
+        print(
+            f"cluster enabled-replay: cost identical; "
+            f"{events['replica_route']} replica_route and "
+            f"{events['replica_failover']} replica_failover events "
+            f"captured"
+        )
+    return failures
 
 
 def check_learned(metrics: dict, meta: dict, baseline: dict) -> list:
@@ -905,6 +1049,9 @@ def main() -> int:
     learned_result, learned_metrics, learned_meta = run_learned_smoke()
     print(learned_result.render())
     print()
+    cluster_result, cluster_metrics, cluster_meta = run_cluster_smoke()
+    print(cluster_result.render())
+    print()
 
     if args.update:
         payload = {"config": {k: list(v) if isinstance(v, tuple) else v
@@ -954,6 +1101,14 @@ def main() -> int:
             json.dump(learned_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {LEARNED_BASELINE_PATH}")
+        cluster_payload = {
+            "config": dict(CLUSTER_SMOKE),
+            **{k: round(v, 4) for k, v in cluster_metrics.items()},
+        }
+        with open(CLUSTER_BASELINE_PATH, "w") as fh:
+            json.dump(cluster_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {CLUSTER_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -1009,6 +1164,16 @@ def main() -> int:
         check_learned(learned_metrics, learned_meta, learned_baseline)
     )
     failures.extend(check_learned_enabled_replay(learned_metrics))
+
+    if not os.path.exists(CLUSTER_BASELINE_PATH):
+        print(f"no baseline at {CLUSTER_BASELINE_PATH}; run with --update")
+        return 1
+    with open(CLUSTER_BASELINE_PATH) as fh:
+        cluster_baseline = json.load(fh)
+    failures.extend(
+        check_cluster(cluster_metrics, cluster_meta, cluster_baseline)
+    )
+    failures.extend(check_cluster_enabled_replay(cluster_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

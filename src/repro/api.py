@@ -29,6 +29,13 @@ The facade groups the stable surface of the layered packages:
   executors (:class:`SerialShardExecutor`,
   :class:`ParallelShardExecutor`, :func:`make_executor`,
   :class:`FaultPlan`);
+* **cluster** — divergent replica sets above the engine tier
+  (``create_index(..., replicas=ReplicaConfig(...))``):
+  :class:`ReplicaConfig` / :class:`ReplicaProfile` /
+  :func:`preset_profile` describe the per-replica configurations,
+  :class:`ReplicaSet` / :func:`build_replica_set` materialize them,
+  :class:`ClusterRouter` routes query classes, and
+  :class:`ReplicaAdvisor` re-scores and rebuilds replicas;
 * **execution** — :class:`BatchExecutor` for amortized operation
   batches over one index;
 * **caching** — :class:`CacheConfig` for budget-aware adaptive
@@ -59,6 +66,16 @@ from repro.btree.kinds import (
     register_leaf_kind,
 )
 from repro.cache import CacheConfig, CacheReport, CacheStats, IndexCache
+from repro.cluster import (
+    ClusterRouter,
+    Replica,
+    ReplicaAdvisor,
+    ReplicaConfig,
+    ReplicaProfile,
+    ReplicaSet,
+    build_replica_set,
+    preset_profile,
+)
 from repro.core.config import ElasticConfig
 from repro.core.elastic_btree import ElasticBPlusTree
 from repro.db.database import Database, DBTable, SecondaryIndex
@@ -84,6 +101,7 @@ from repro.errors import (
     IndexExistsError,
     InvalidBudgetError,
     LeafKindError,
+    ReplicaConfigError,
     ReproError,
     ShardConfigError,
     ShardConflictError,
@@ -137,6 +155,15 @@ __all__ = [
     "build_sharded_index",
     "make_executor",
     "make_partitioner",
+    # cluster
+    "ClusterRouter",
+    "Replica",
+    "ReplicaAdvisor",
+    "ReplicaConfig",
+    "ReplicaProfile",
+    "ReplicaSet",
+    "build_replica_set",
+    "preset_profile",
     # execution
     "BatchExecutor",
     # caching
@@ -160,6 +187,7 @@ __all__ = [
     "IndexExistsError",
     "InvalidBudgetError",
     "LeafKindError",
+    "ReplicaConfigError",
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",

@@ -21,8 +21,8 @@ import os
 import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
-from repro.bench import cache, latency, learned, mlp, parallel, sec61, sec64
-from repro.bench import shard
+from repro.bench import cache, cluster, latency, learned, mlp, parallel
+from repro.bench import sec61, sec64, shard
 
 
 def _experiments(full: bool, events_dir=None):
@@ -77,6 +77,10 @@ def _experiments(full: bool, events_dir=None):
         ),
         "learned": lambda: learned.run(
             n_keys=30_000 * scale, query_count=8_192 * scale,
+        ),
+        "cluster": lambda: cluster.run(
+            n_keys=6_000 * scale, ops=3_000 * scale,
+            capture_events=events_dir is not None,
         ),
     }
 

@@ -32,6 +32,8 @@ _TRAJECTORY = (
     ("BENCH_learned.json", "learned leaves (3-way lattice)",
      "learned.elastic-2way.sorted_cost_units",
      "learned.elastic-3way.sorted_cost_units"),
+    ("BENCH_cluster.json", "divergent replica routing",
+     "cluster.uniform_cost_units", "cluster.divergent_cost_units"),
 )
 
 

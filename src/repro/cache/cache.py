@@ -331,6 +331,31 @@ class IndexCache:
                     name=self.name, action="invalidate", tier="row",
                 ))
 
+    def invalidate_key(self, key: bytes) -> None:
+        """Drop every entry that could serve ``key``: the hot-row entry
+        and the descent interval covering it.
+
+        Used by the cluster router to price ``point_cold`` what-if
+        probes on an un-resident key (see :mod:`repro.cluster.router`):
+        the sampled key was just served — and therefore just admitted —
+        so without this the probe would measure residency the key will
+        not have when real cold traffic arrives.
+        """
+        self.invalidate_row(key)
+        keys = self._desc_keys
+        i = bisect_right(keys, key) - 1
+        if i >= 0:
+            lo = keys[i]
+            hi, _leaf = self._desc[lo]
+            if hi is None or key < hi:
+                del self._desc[lo]
+                del keys[i]
+                self.stats.desc_invalidations += 1
+                if obs.is_enabled():
+                    obs.emit(CacheEvent(
+                        name=self.name, action="invalidate", tier="descent",
+                    ))
+
     def _clear_descent(self, epoch: int) -> None:
         if self._desc:
             self.stats.desc_invalidations += len(self._desc)

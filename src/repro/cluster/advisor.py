@@ -1,0 +1,236 @@
+"""Periodic re-scoring and one-at-a-time replica rebuilds.
+
+The :class:`ReplicaAdvisor` closes the loop the ROADMAP calls
+"unlocking the power of diversity": the router's score table says how
+well each *existing* replica serves the observed class mix; the advisor
+asks whether a *different* profile would serve it better, and — when
+the answer is a clear yes — rebuilds exactly one replica under the new
+profile, billed like a bulk leaf conversion (drain + rebuild charged to
+the shared cost model, ``replica_rebuild`` event carrying the units).
+
+Candidate profiles are priced on a **scratch sample**: a throwaway
+index built from the router's probe keys, measured and then rebated, so
+candidate evaluation leaves only the advisor fee on the ledger — the
+same pattern the router uses for what-if routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.cluster.config import (
+    BOUNDED_KINDS,
+    QUERY_CLASSES,
+    ReplicaProfile,
+)
+from repro.cluster.replica_set import Replica, ReplicaSet
+from repro.engine.router import build_sharded_index
+from repro.errors import ReplicaConfigError
+from repro.obs import ReplicaRebuildEvent
+
+
+class ReplicaAdvisor:
+    """Re-scores replica configurations against the observed class mix."""
+
+    def __init__(self, replica_set: ReplicaSet) -> None:
+        self.replica_set = replica_set
+        self.router = replica_set.router
+        self.cost = replica_set.cost
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_round(self) -> Dict[tuple, float]:
+        """Force one router scoring round now (probes rebated, fee billed)."""
+        return self.router.score_round()
+
+    def mix_weighted_scores(self) -> Dict[int, float]:
+        """Each replica's cost contribution under the observed class mix.
+
+        For every query class a replica currently serves, its per-op
+        score is weighted by the class's observed share of operations;
+        the sum is what the cluster pays per op for keeping the replica
+        in its present configuration.  Replicas serving no class score
+        0.0 — they are the natural rebuild candidates.
+        """
+        mix = self.router.class_mix()
+        assignment = self.router.assignment()
+        scores = self.router.scores()
+        contribution: Dict[int, float] = {
+            replica.replica_id: 0.0 for replica in self.replica_set.replicas
+        }
+        for cls, rid in assignment.items():
+            units = scores.get((cls, rid))
+            if units is not None:
+                contribution[rid] += mix.get(cls, 0.0) * units
+        return contribution
+
+    # ------------------------------------------------------------------
+    # Rebuild (billed)
+    # ------------------------------------------------------------------
+    def rebuild(self, replica_id: int, profile: ReplicaProfile) -> float:
+        """Rebuild one replica under ``profile``; returns billed units.
+
+        The replica's current index is drained in key order and bulk-
+        loaded into a fresh index built from ``profile`` under the same
+        apportioned bound — the whole round trip is charged to the
+        shared cost model exactly like a bulk leaf conversion (nothing
+        is rebated).  The router's cached scores for the replica are
+        invalidated so the next round re-probes the new configuration.
+        """
+        profile.validate()
+        replicas = self.replica_set.replicas
+        if not 0 <= replica_id < len(replicas):
+            raise ReplicaConfigError(
+                f"no replica {replica_id} in a "
+                f"{len(replicas)}-replica cluster"
+            )
+        replica = replicas[replica_id]
+        bound = replica.bound_bytes
+        if profile.kind in BOUNDED_KINDS and bound is None:
+            raise ReplicaConfigError(
+                f"profile {profile.name!r} is elastic but replica "
+                f"{replica_id} holds no bound share to reuse"
+            )
+        params = self.replica_set.build_params
+        old_profile = replica.profile
+        items = len(replica.index)
+        with self.cost.measure() as delta:
+            drained = replica.index.scan(b"", items) if items else []
+            new_index = self._build(profile, bound, replica.name, params)
+            if drained:
+                new_index.insert_sorted_batch(drained)
+        cost_units = delta.weighted_cost()
+        replica.index = new_index
+        replica.profile = profile
+        self.router.invalidate(replica_id)
+        if obs.is_enabled():
+            obs.emit(ReplicaRebuildEvent(
+                replica=replica_id, old_profile=old_profile.name,
+                new_profile=profile.name, items=items,
+                cost_units=cost_units,
+            ))
+        return cost_units
+
+    def _build(self, profile: ReplicaProfile, bound: Optional[int],
+               label: str, params: Dict):
+        """Build a fresh index for ``profile`` with the set's knobs."""
+        merged = profile.builder_kwargs()
+        if params.get("shards", 1) > 1:
+            return build_sharded_index(
+                profile.kind,
+                table=params["table"],
+                cost=self.cost,
+                key_width=params["key_width"],
+                n_shards=params["shards"],
+                partitioner=params.get("partitioner", "hash"),
+                size_bound_bytes=bound,
+                name=label,
+                executor=params.get("executor"),
+                cache=profile.cache,
+                **merged,
+            )
+        from repro.memory.allocator import TrackingAllocator
+        from repro.registry import build_index
+
+        index = build_index(
+            profile.kind,
+            table=params["table"],
+            allocator=TrackingAllocator(cost_model=self.cost),
+            cost=self.cost,
+            key_width=params["key_width"],
+            size_bound_bytes=bound,
+            **merged,
+        )
+        if profile.cache is not None:
+            from repro.cache import IndexCache
+
+            index.attach_cache(
+                IndexCache(profile.cache, name=f"{label}.cache")
+            )
+        return index
+
+    # ------------------------------------------------------------------
+    # Advice (candidates priced on a scratch sample, rebated)
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        candidates: Sequence[ReplicaProfile],
+        improvement_fraction: float = 0.1,
+    ) -> Optional[Tuple[int, str]]:
+        """Consider rebuilding the worst replica under a candidate profile.
+
+        The replica with the highest mix-weighted cost contribution is
+        the rebuild target.  Each candidate is priced by building a
+        scratch index over the router's sample keys, probing it with the
+        same per-class probes, and rebating the whole evaluation (only
+        the advisor fee is billed).  If the best candidate beats the
+        incumbent's mix-weighted score by more than
+        ``improvement_fraction``, the replica is rebuilt (billed) and
+        ``(replica_id, profile_name)`` is returned; otherwise None.
+        """
+        contributions = self.mix_weighted_scores()
+        if not contributions:
+            return None
+        target_id = max(
+            contributions, key=lambda rid: (contributions[rid], -rid)
+        )
+        incumbent_units = contributions[target_id]
+        mix = self.router.class_mix()
+        sample_pairs = self._sample_pairs()
+        if not sample_pairs or incumbent_units <= 0.0:
+            return None
+        best: Optional[Tuple[float, int, ReplicaProfile]] = None
+        bound = self.replica_set.replicas[target_id].bound_bytes
+        params = self.replica_set.build_params
+        scored = 0
+        for position, candidate in enumerate(candidates):
+            candidate.validate()
+            if candidate.kind in BOUNDED_KINDS and bound is None:
+                continue
+            with self.cost.measure() as delta:
+                scratch = self._build(
+                    candidate, bound, "advisor.scratch", params
+                )
+                scratch.insert_sorted_batch(sample_pairs)
+                units = self._mix_probe_units(scratch, mix)
+            self.cost.rebate_delta(delta)
+            scored += 1
+            key = (units, position)
+            if best is None or key < (best[0], best[1]):
+                best = (units, position, candidate)
+        if scored:
+            self.cost.fixed_ops(
+                self.replica_set.config.advisor_fee_units * scored
+            )
+        if best is None:
+            return None
+        units, _, candidate = best
+        if units >= incumbent_units * (1.0 - improvement_fraction):
+            return None
+        self.rebuild(target_id, candidate)
+        return target_id, candidate.name
+
+    def _sample_pairs(self) -> List[Tuple[bytes, int]]:
+        """Distinct sampled keys (all classes) paired with dummy tids."""
+        seen = sorted({
+            key
+            for cls in QUERY_CLASSES
+            for key in self.router._samples[cls]
+        })
+        return [(key, i) for i, key in enumerate(seen)]
+
+    def _mix_probe_units(self, index, mix: Dict[str, float]) -> float:
+        """Mix-weighted per-op probe cost of ``index`` (not rebated here;
+        the caller measures and rebates around this call)."""
+        total = 0.0
+        for cls in QUERY_CLASSES:
+            share = mix.get(cls, 0.0)
+            keys = self.router._samples[cls]
+            if not share or not keys:
+                continue
+            with self.cost.measure() as delta:
+                probes = self.router._probe(cls, index, keys)
+            total += share * (delta.weighted_cost() / probes)
+        return total

@@ -6,6 +6,7 @@ import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cache import CacheConfig, IndexCache
+from repro.cluster import ReplicaConfig, ReplicaSet, build_replica_set
 from repro.engine import (
     BudgetArbiter,
     ShardedIndex,
@@ -144,6 +145,7 @@ class DBTable:
         partitioner: str = "hash",
         parallel=False,
         cache: Optional[CacheConfig] = None,
+        replicas: Optional[ReplicaConfig] = None,
         **index_kwargs,
     ) -> SecondaryIndex:
         """Create an ordered secondary index over ``columns``.
@@ -166,11 +168,37 @@ class DBTable:
         cache with the budget arbiter, which then resizes the cache's
         budget by observed hit-rate demand.  Existing rows are
         back-filled.
+
+        A :class:`~repro.cluster.ReplicaConfig` as ``replicas`` lifts
+        the index into the cluster tier: ``replicas.replicas`` full
+        copies (each possibly sharded underneath), each built from its
+        own divergent profile, with reads routed per query class and
+        writes fanned out to every copy — see :mod:`repro.cluster`.
+        ``replicas=None`` or a single-replica config takes the plain
+        path above, byte-identical to a database without the cluster
+        tier.
         """
         if name in self.indexes:
             raise IndexExistsError(f"index {name!r} already exists")
         if shards < 1:
             raise ShardConfigError("shards must be >= 1")
+        if replicas is not None:
+            replicas.validate()
+            if replicas.replicas == 1:
+                # Exact passthrough: a one-replica cluster is the plain
+                # (or sharded) index, no cluster machinery at all.  An
+                # explicit single profile supplies the configuration.
+                if replicas.profiles:
+                    profile = replicas.profiles[0]
+                    kind = profile.kind
+                    if profile.cache is not None:
+                        cache = profile.cache
+                    index_kwargs = {
+                        **index_kwargs, **profile.builder_kwargs()
+                    }
+                if replicas.total_bound_bytes is not None:
+                    size_bound_bytes = replicas.total_bound_bytes
+                replicas = None
         if cache is not None:
             cache.validate(size_bound_bytes)
         executor = make_executor(parallel)
@@ -190,7 +218,22 @@ class DBTable:
         # so its footprint (and, for elastic indexes, its budget
         # observations) is isolated; the shared cost model keeps one
         # performance ledger.
-        if shards == 1:
+        if replicas is not None:
+            index = build_replica_set(
+                replicas,
+                kind=kind,
+                table=view,
+                cost=self.db.cost,
+                key_width=secondary.key_width,
+                size_bound_bytes=size_bound_bytes,
+                name=f"{self.schema.name}.{name}",
+                shards=shards,
+                partitioner=partitioner,
+                executor=executor,
+                cache=cache,
+                **index_kwargs,
+            )
+        elif shards == 1:
             index = build_index(
                 kind,
                 table=view,
@@ -472,6 +515,24 @@ class Database:
     ) -> None:
         """Enroll an index's elasticity controller(s), if any."""
         if self.arbiter is None:
+            return
+        if isinstance(index, ReplicaSet):
+            # The cluster-global bound: every replica's controllers (and
+            # caches) enroll under the database's one arbitrated total,
+            # so budget moves across replica boundaries like it moves
+            # across shard boundaries.
+            for replica in index.replicas:
+                if isinstance(replica.index, ShardedIndex):
+                    self._register_with_arbiter(
+                        table_name, index_name, replica.index
+                    )
+                    continue
+                controller = getattr(replica.index, "controller", None)
+                if controller is not None:
+                    self.arbiter.register(replica.name, controller)
+                    cache = getattr(replica.index, "cache", None)
+                    if cache is not None:
+                        self.arbiter.register_cache(replica.name, cache)
             return
         if isinstance(index, ShardedIndex):
             for shard in index.shards:

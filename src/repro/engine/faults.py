@@ -19,6 +19,11 @@ in the same vocabulary the cost model uses:
   the hedge loses.
 * ``saturate(calls=n)`` — the next ``n`` scatter batches observe a
   saturated dispatch pool and must degrade to the serial backend.
+* ``down(replica=k, beats=n, after=m)`` — replica ``k`` fails ``n``
+  consecutive heartbeats, starting ``m`` healthy beats from now: the
+  cluster router marks it down, reroutes its query classes to the
+  next-cheapest survivor, and re-admits it at the first healthy beat
+  (see :mod:`repro.cluster`).
 
 Plans are consumed mutably (each scripted fault fires once) and are
 pure bookkeeping: a plan never touches wall-clock, threads, or random
@@ -40,6 +45,9 @@ class FaultPlan:
         #: shard -> (extra cost units per dispatch, one-shot flag).
         self._delays: Dict[int, Tuple[float, bool]] = {}
         self._saturated_calls = 0
+        #: replica -> outage segments, each [healthy beats to skip,
+        #: failed beats to serve], consumed in scripting order.
+        self._outages: Dict[int, list] = {}
 
     # ------------------------------------------------------------------
     # Scripting (builder-style, chainable)
@@ -67,6 +75,17 @@ class FaultPlan:
         if calls < 1:
             raise ValueError("calls must be positive")
         self._saturated_calls += calls
+        return self
+
+    def down(self, replica: int, beats: int = 1,
+             after: int = 0) -> "FaultPlan":
+        """Fail ``beats`` consecutive heartbeats of ``replica``,
+        starting ``after`` healthy beats from now (read outage)."""
+        if beats < 1:
+            raise ValueError("beats must be positive")
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        self._outages.setdefault(replica, []).append([after, beats])
         return self
 
     # ------------------------------------------------------------------
@@ -106,6 +125,26 @@ class FaultPlan:
         self._saturated_calls -= 1
         return True
 
+    def take_heartbeat(self, replica: int) -> bool:
+        """Consume one heartbeat for ``replica``; True if it is down.
+
+        Each scripted outage beat fires exactly once, so a plan replayed
+        against the same op stream yields the same down/up timeline.
+        """
+        segments = self._outages.get(replica)
+        if not segments:
+            return False
+        segment = segments[0]
+        if segment[0] > 0:
+            segment[0] -= 1
+            return False
+        segment[1] -= 1
+        if segment[1] <= 0:
+            segments.pop(0)
+            if not segments:
+                del self._outages[replica]
+        return True
+
     # ------------------------------------------------------------------
     @property
     def exhausted(self) -> bool:
@@ -114,11 +153,13 @@ class FaultPlan:
             not self._conflicts
             and not self._delays
             and self._saturated_calls == 0
+            and not self._outages
         )
 
     def __repr__(self) -> str:
         return (
             f"FaultPlan(conflicts={self._conflicts!r}, "
             f"delays={self._delays!r}, "
-            f"saturated_calls={self._saturated_calls})"
+            f"saturated_calls={self._saturated_calls}, "
+            f"outages={self._outages!r})"
         )

@@ -39,6 +39,11 @@ The concrete classes map to the layers that raise them:
   the serial backend instead); direct executor users opt in with
   ``ParallelShardExecutor(strict_saturation=True)`` to shed load
   themselves.
+* :class:`ReplicaConfigError` — an impossible replica-cluster topology:
+  zero replicas, a profile list whose arity does not match the replica
+  count, non-positive budget weights, an elastic profile with no bound
+  to apportion, or a routing/heartbeat knob that can never fire
+  (``repro.cluster``, ``repro.db``).
 """
 
 from __future__ import annotations
@@ -76,12 +81,17 @@ class LeafKindError(ReproError):
     """A leaf kind is unknown, duplicated, or unsupported in context."""
 
 
+class ReplicaConfigError(ReproError):
+    """A replica-cluster topology or routing configuration is invalid."""
+
+
 __all__ = [
     "CacheConfigError",
     "ExecutorSaturatedError",
     "IndexExistsError",
     "InvalidBudgetError",
     "LeafKindError",
+    "ReplicaConfigError",
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",

@@ -41,6 +41,7 @@ from repro.obs.events import (
     CacheBudgetEvent,
     CacheEvent,
     CapacityChangeEvent,
+    ClusterBudgetEvent,
     Event,
     EventBus,
     ExecutorDegradeEvent,
@@ -50,6 +51,9 @@ from repro.obs.events import (
     ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    ReplicaFailoverEvent,
+    ReplicaRebuildEvent,
+    ReplicaRouteEvent,
     ShardDispatchEvent,
     ShardHedgeEvent,
     ShardPressureEvent,
@@ -81,6 +85,7 @@ __all__ = [
     "CacheBudgetEvent",
     "CacheEvent",
     "CapacityChangeEvent",
+    "ClusterBudgetEvent",
     "Counter",
     "DEFAULT_COST_BUCKETS",
     "Event",
@@ -97,6 +102,9 @@ __all__ = [
     "PolicyActionEvent",
     "PressureTimeline",
     "PressureTransitionEvent",
+    "ReplicaFailoverEvent",
+    "ReplicaRebuildEvent",
+    "ReplicaRouteEvent",
     "ShardDispatchEvent",
     "ShardHedgeEvent",
     "ShardPressureEvent",

@@ -393,6 +393,82 @@ class CacheBudgetEvent(Event):
     hit_rate: float = 0.0
 
 
+@dataclass
+class ReplicaRouteEvent(Event):
+    """The cluster router (re)assigned one query class to a replica.
+
+    Emitted per class whenever a scoring round, failover, or recovery
+    sets the class's serving replica.  ``cost_units`` is the winning
+    replica's deterministic what-if score (weighted cost units per probe
+    operation, priced through the shared cost model and rebated);
+    ``candidates`` is the number of live replicas scored.  ``reason`` is
+    ``"score"`` (a periodic or initial scoring round), ``"failover"``
+    (the previous replica went down) or ``"recover"`` (a re-admitted
+    replica won its class back).
+    """
+
+    kind: ClassVar[str] = "replica_route"
+    query_class: str = ""
+    replica: int = 0
+    cost_units: float = 0.0
+    candidates: int = 0
+    reason: str = ""
+
+
+@dataclass
+class ReplicaFailoverEvent(Event):
+    """A replica changed availability on a heartbeat.
+
+    ``reason`` ``"heartbeat"``: ``replica`` was marked down and
+    ``query_class`` (one event per class it was serving; ``""`` if it
+    served none) was rerouted to ``to_replica``, the next-cheapest
+    survivor.  ``reason`` ``"recover"``: ``replica`` was re-admitted
+    (``query_class`` ``""``, ``to_replica`` the replica itself);
+    re-admission reroutes from the last known scores and never
+    re-charges probe or rebuild costs.
+    """
+
+    kind: ClassVar[str] = "replica_failover"
+    replica: int = 0
+    query_class: str = ""
+    to_replica: int = -1
+    reason: str = ""
+
+
+@dataclass
+class ReplicaRebuildEvent(Event):
+    """The replica advisor rebuilt one replica under a new profile.
+
+    ``cost_units`` is the measured weighted cost of the rebuild — the
+    donor scan plus the bulk build of the new index — billed like a bulk
+    conversion (see docs/COSTMODEL.md).
+    """
+
+    kind: ClassVar[str] = "replica_rebuild"
+    replica: int = 0
+    old_profile: str = ""
+    new_profile: str = ""
+    items: int = 0
+    cost_units: float = 0.0
+
+
+@dataclass
+class ClusterBudgetEvent(Event):
+    """A replica set apportioned its cluster-global soft bound.
+
+    Emitted at build time and on every explicit re-apportionment: the
+    parallel ``replicas`` / ``bounds`` lists record each replica's
+    byte share of ``total_bytes`` (largest-remainder over the profile
+    weights, so divergent layouts start from divergent budgets).
+    """
+
+    kind: ClassVar[str] = "cluster_budget"
+    total_bytes: int = 0
+    replicas: List[str] = field(default_factory=list)
+    bounds: List[int] = field(default_factory=list)
+    reason: str = ""
+
+
 class EventBus:
     """A tiny synchronous publish/subscribe hub.
 

@@ -25,6 +25,7 @@ from repro.obs.events import (
     CacheBudgetEvent,
     CacheEvent,
     CapacityChangeEvent,
+    ClusterBudgetEvent,
     Event,
     EventBus,
     ExecutorDegradeEvent,
@@ -34,6 +35,9 @@ from repro.obs.events import (
     ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    ReplicaFailoverEvent,
+    ReplicaRebuildEvent,
+    ReplicaRouteEvent,
     ShardDispatchEvent,
     ShardHedgeEvent,
     ShardPressureEvent,
@@ -197,6 +201,26 @@ class Observer:
             "repro_cache_budget_bytes",
             "Per-shard cache budget as of the most recent arbiter resize.",
         )
+        self._replica_routes = reg.counter(
+            "repro_replica_routes_total",
+            "Query-class route assignments by class, replica and reason.",
+        )
+        self._replica_route_cost = reg.gauge(
+            "repro_replica_route_cost_units",
+            "Winning what-if score of the most recent route per class.",
+        )
+        self._replica_failovers = reg.counter(
+            "repro_replica_failovers_total",
+            "Replica availability transitions by reason.",
+        )
+        self._replica_rebuilds = reg.counter(
+            "repro_replica_rebuilds_total",
+            "Advisor replica rebuilds by source and target profile.",
+        )
+        self._cluster_budget = reg.gauge(
+            "repro_cluster_budget_bytes",
+            "Per-replica share of the cluster-global soft bound.",
+        )
         #: Running (hits, lookups) tallies per cache name feeding the
         #: hit-rate gauge; lookups = row-tier probes (hit + miss).
         self._cache_tallies: dict = {}
@@ -288,6 +312,28 @@ class Observer:
             self._cache_budget.set(
                 event.new_budget_bytes, shard=event.shard
             )
+        elif isinstance(event, ReplicaRouteEvent):
+            self._replica_routes.inc(
+                query_class=event.query_class,
+                replica=str(event.replica),
+                reason=event.reason,
+            )
+            self._replica_route_cost.set(
+                event.cost_units, query_class=event.query_class
+            )
+        elif isinstance(event, ReplicaFailoverEvent):
+            self._replica_failovers.inc(reason=event.reason)
+        elif isinstance(event, ReplicaRebuildEvent):
+            self._replica_rebuilds.inc(
+                old_profile=event.old_profile,
+                new_profile=event.new_profile,
+            )
+            self._conversion_cost.observe(
+                event.cost_units, kind="replica_rebuild", direction="rebuild"
+            )
+        elif isinstance(event, ClusterBudgetEvent):
+            for replica, bound in zip(event.replicas, event.bounds):
+                self._cluster_budget.set(bound, replica=replica)
         elif isinstance(event, ParallelGatherEvent):
             self._parallel_serial_sum.set(event.serial_sum_units)
             self._parallel_critical_path.set(event.critical_path_units)

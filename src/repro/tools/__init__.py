@@ -2,6 +2,7 @@
 
 from repro.tools.inspect import (
     cache_summary,
+    cluster_summary,
     dump_tree,
     format_size,
     leaf_histogram,
@@ -10,6 +11,7 @@ from repro.tools.inspect import (
 
 __all__ = [
     "cache_summary",
+    "cluster_summary",
     "dump_tree",
     "format_size",
     "leaf_histogram",

@@ -122,6 +122,44 @@ def cache_summary(index) -> str:
     return "\n".join(lines)
 
 
+def cluster_summary(index) -> str:
+    """Per-replica cluster table: profile, health, routing, budget share.
+
+    Accepts a :class:`~repro.cluster.ReplicaSet` (one row per replica)
+    or any plain/sharded index (one row, for symmetric tooling).  Shows
+    each replica's profile and kind, item/byte footprint, apportioned
+    share of the cluster bound, health, and the query classes the
+    router currently sends it.
+    """
+    report = getattr(index, "replica_report", None)
+    if report is None:
+        rows = [{
+            "name": "index", "profile": "-", "kind": "-", "up": True,
+            "items": len(index), "index_bytes": index.index_bytes,
+            "bound_bytes": 0, "classes": [],
+        }]
+        total_bound = 0
+    else:
+        rows = report()
+        total_bound = sum(row["bound_bytes"] for row in rows)
+    lines = [
+        f"{'replica':<16} {'profile':<10} {'kind':<9} {'state':<5} "
+        f"{'items':>7} {'bytes':>10} {'bound share':>11} classes"
+    ]
+    for row in rows:
+        if total_bound:
+            share = f"{row['bound_bytes'] / total_bound * 100:.1f}%"
+        else:
+            share = "-"
+        classes = ",".join(row["classes"]) or "-"
+        lines.append(
+            f"{row['name']:<16} {row['profile']:<10} {row['kind']:<9} "
+            f"{'up' if row['up'] else 'DOWN':<5} {row['items']:>7} "
+            f"{format_size(row['index_bytes']):>10} {share:>11} {classes}"
+        )
+    return "\n".join(lines)
+
+
 def mlp_summary(target) -> str:
     """Prefetch-wave accounting summary (see ``CostModel.mlp_window``).
 

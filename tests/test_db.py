@@ -251,6 +251,60 @@ class TestMemoryAndElasticity:
         assert idx.index.pressure_state is PressureState.SHRINKING
 
 
+class TestReplicatedIndexes:
+    """The cluster tier through the stable create_index surface; the
+    deep routing/failover contracts live in test_cluster.py."""
+
+    def test_single_replica_config_is_plain_passthrough(self):
+        from repro.api import ReplicaConfig, ReplicaSet
+
+        _, table = make_log_table()
+        idx = table.create_index(
+            "by_obj", ("object_id",), kind="elastic",
+            size_bound_bytes=40_000, replicas=ReplicaConfig(replicas=1),
+        )
+        assert not isinstance(idx.index, ReplicaSet)
+
+    def test_replicated_index_answers_like_plain(self):
+        from repro.api import ReplicaConfig, ReplicaSet
+
+        _, table = make_log_table()
+        plain = table.create_index(
+            "plain", ("object_id", "timestamp"), kind="elastic",
+            size_bound_bytes=40_000,
+        )
+        replicated = table.create_index(
+            "replicated", ("object_id", "timestamp"), kind="elastic",
+            replicas=ReplicaConfig(replicas=3, total_bound_bytes=120_000),
+        )
+        rows = log_rows(1500)
+        for row in rows:
+            table.insert(row)
+        assert isinstance(replicated.index, ReplicaSet)
+        assert replicated.index.n_replicas == 3
+        for row in rows[::97]:
+            probe = (row[2], row[0])
+            assert table.get("replicated", probe) == \
+                table.get("plain", probe)
+        assert len(replicated.index) == len(plain.index)
+
+    def test_invalid_replica_config_rejected_at_creation(self):
+        from repro.api import ReplicaConfig, ReplicaConfigError
+
+        _, table = make_log_table()
+        with pytest.raises(ReplicaConfigError):
+            table.create_index(
+                "bad", ("object_id",), kind="elastic",
+                replicas=ReplicaConfig(replicas=0),
+            )
+        # Elastic replicas with no bound anywhere cannot apportion.
+        with pytest.raises(ReplicaConfigError):
+            table.create_index(
+                "bad", ("object_id",), kind="elastic",
+                replicas=ReplicaConfig(replicas=2),
+            )
+
+
 class TestDeprecatedSpellings:
     """The pre-redesign read shims are gone; only the positional scan
     count keeps a DeprecationWarning shim."""

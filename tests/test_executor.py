@@ -37,6 +37,7 @@ from repro.errors import (
     ExecutorSaturatedError,
     IndexExistsError,
     InvalidBudgetError,
+    ReplicaConfigError,
     ReproError,
     ShardConfigError,
     ShardConflictError,
@@ -424,6 +425,25 @@ class TestFaultMatrix:
         finally:
             executor.close()
 
+    def test_heartbeat_outages_script_deterministically(self):
+        # The cluster tier's vocabulary on the same plan object: a
+        # scripted outage of `beats` failed heartbeats after `after`
+        # healthy ones, consumed beat by beat.
+        plan = FaultPlan().down(replica=0, beats=2).down(
+            replica=0, beats=1, after=1)
+        assert not plan.exhausted
+        seen = [plan.take_heartbeat(0) for _ in range(5)]
+        assert seen == [True, True, False, True, False]
+        assert plan.exhausted
+        # Unscripted replicas never fail a beat.
+        assert not plan.take_heartbeat(3)
+
+    def test_heartbeat_outage_validates_arguments(self):
+        with pytest.raises(ValueError):
+            FaultPlan().down(replica=0, beats=0)
+        with pytest.raises(ValueError):
+            FaultPlan().down(replica=0, beats=1, after=-1)
+
     def test_task_raised_conflict_is_retried_too(self):
         # Conflicts surfacing as ShardConflictError from the index side
         # (the OLC Restart analogue) take the same retry path as
@@ -656,7 +676,8 @@ class TestDatabaseParallel:
 # ----------------------------------------------------------------------
 class TestTypedErrors:
     def test_hierarchy_roots(self):
-        for exc in (IndexExistsError, InvalidBudgetError, ShardConfigError,
+        for exc in (IndexExistsError, InvalidBudgetError,
+                    ReplicaConfigError, ShardConfigError,
                     ShardConflictError):
             assert issubclass(exc, ReproError)
             assert issubclass(exc, ValueError)
