@@ -6,14 +6,15 @@ sharded-engine benchmark (``repro.bench.shard``), the parallel
 scatter/gather benchmark (``repro.bench.parallel``), the adaptive
 cache benchmark (``repro.bench.cache``), the prefetch-wave
 benchmark (``repro.bench.mlp``), the leaf-kind frontier benchmark
-(``repro.bench.learned``), and the divergent-replica cluster benchmark
-(``repro.bench.cluster``) in small, deterministic smoke
+(``repro.bench.learned``), the divergent-replica cluster benchmark
+(``repro.bench.cluster``), and the durable-write benchmark
+(``repro.bench.wal``) in small, deterministic smoke
 configurations and compares their *weighted cost units* — which are
 exactly reproducible, unlike wall-clock — against the committed
 baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
 ``BENCH_parallel.json``, ``BENCH_cache.json``, ``BENCH_mlp.json``,
-``BENCH_learned.json``, and ``BENCH_cluster.json``
-(``--list`` enumerates all seven; a missing baseline fails loudly).
+``BENCH_learned.json``, ``BENCH_cluster.json``, and ``BENCH_wal.json``
+(``--list`` enumerates all eight; a missing baseline fails loudly).
 The MLP gate asserts the wave-pricing contract: results byte-identical
 to serial pricing on every arm, wave-priced descents strictly cheaper
 than serial pricing at every W >= 2, W=1 reproducing today's batched
@@ -33,6 +34,14 @@ three identical replicas at equal total memory (acceptance floor),
 index, and a scripted mid-workload outage replaying deterministically
 with its failover visible as ``replica_failover`` events in the
 enabled replay.
+The WAL gate asserts the durable-write contract: digests identical
+across the WAL-off, per-op-fsync, and group-commit arms, group commit
+cutting the durability overhead by at least 30% vs per-op fsync at
+group size 64, the scripted kill + recover differential matching an
+independent replay of exactly the committed prefix (deterministically
+across two cycles), and the WAL-off arm bit-identical to its
+committed baseline — the redesigned write surface costs nothing when
+no log is attached.
 Fails (exit 1) when any tracked cost metric regresses by more than
 25%, when the batch cost saving falls below the 30% acceptance floor,
 when the budget arbiter fails to strictly dominate the static
@@ -82,6 +91,7 @@ CACHE_BASELINE_PATH = os.path.join(REPO, "BENCH_cache.json")
 MLP_BASELINE_PATH = os.path.join(REPO, "BENCH_mlp.json")
 LEARNED_BASELINE_PATH = os.path.join(REPO, "BENCH_learned.json")
 CLUSTER_BASELINE_PATH = os.path.join(REPO, "BENCH_cluster.json")
+WAL_BASELINE_PATH = os.path.join(REPO, "BENCH_wal.json")
 
 #: Every committed baseline this script gates on.  ``--list`` prints
 #: these; a gate whose baseline is missing fails loudly rather than
@@ -94,6 +104,7 @@ ALL_BASELINES = (
     ("mlp", MLP_BASELINE_PATH),
     ("learned", LEARNED_BASELINE_PATH),
     ("cluster", CLUSTER_BASELINE_PATH),
+    ("wal", WAL_BASELINE_PATH),
 )
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
@@ -184,6 +195,22 @@ CLUSTER_SMOKE = dict(
     n_keys=6_000,
     ops=3_000,
     seed=41,
+)
+
+#: Group commit must cut the durability overhead (cost above the
+#: WAL-off arm) by at least this much vs per-operation fsync at the
+#: smoke's group size (acceptance floor; in practice it is far lower —
+#: one barrier per 64 records).
+WAL_SAVING_FLOOR = 0.30
+
+#: Durable-write smoke: WAL off vs per-op fsync vs group commit, plus
+#: a scripted kill + recovery differential (repro.bench.wal).
+WAL_SMOKE = dict(
+    n_rows=2_000,
+    batch_rows=24,
+    group_size=64,
+    kill_after_applies=90,
+    seed=43,
 )
 
 
@@ -290,6 +317,136 @@ def run_cluster_smoke(capture_events: bool = False):
         "cluster.failover_cost_units": meta["failover_cost_units"],
     }
     return result, metrics, meta
+
+
+def run_wal_smoke(capture_events: bool = False):
+    """The durable-write smoke (observability left disabled)."""
+    from repro.bench import wal
+
+    result = wal.run(capture_events=capture_events, **WAL_SMOKE)
+    meta = result.meta
+    metrics = {
+        "wal.off_cost_units": meta["off_cost_units"],
+        "wal.perop_cost_units": meta["perop_cost_units"],
+        "wal.group_cost_units": meta["group_cost_units"],
+        "wal.recovery_cost_units": meta["recovery_cost_units"],
+    }
+    return result, metrics, meta
+
+
+def check_wal(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Durable-write contract + cost-regression checks for the WAL smoke.
+
+    Contract: (a) table/index digests identical across the WAL-off,
+    per-op-fsync, and group-commit arms (durability must change cost
+    accounting, never answers), (b) group commit cutting the durability
+    overhead by at least the acceptance floor vs per-op fsync, (c) the
+    kill + recover differential matching an independent replay of
+    exactly the committed unit-op prefix, replayed deterministically
+    across two crash/recover cycles, and (d) the WAL-off arm matching
+    the committed baseline bit-for-bit — the wiring of the redesigned
+    write surface costs nothing when no log is attached (the seven
+    pre-WAL baselines gate the same property on their own workloads).
+    """
+    failures = []
+    if not meta["results_identical"]:
+        failures.append(
+            "wal: digests diverged across arms — the WAL must change "
+            "cost accounting, never answers"
+        )
+    if meta["overhead_saving"] < WAL_SAVING_FLOOR:
+        failures.append(
+            f"wal: group-commit overhead saving "
+            f"{meta['overhead_saving']:.3f} vs per-op fsync below floor "
+            f"{WAL_SAVING_FLOOR} at group size {WAL_SMOKE['group_size']}"
+        )
+    if not meta["recovery_match"]:
+        failures.append(
+            "wal: recovered database diverged from the committed-prefix "
+            "reference replay (kill + recover differential)"
+        )
+    if not meta["recovery_deterministic"]:
+        failures.append(
+            "wal: crash/recover cycle did not replay to identical "
+            "digests and reports across runs"
+        )
+    if meta["records_discarded"] == 0:
+        failures.append(
+            "wal: scripted kill discarded no volatile records — the "
+            "crash landed on a group boundary and proves nothing"
+        )
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_wal_enabled_replay(base_metrics: dict) -> list:
+    """Replay the WAL smoke with observability on: identical costs, and
+    the append/commit/replay activity must be visible as events."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, meta = run_wal_smoke(capture_events=True)
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    records = observer.registry.get("repro_wal_records_total")
+    if records is None or records.total() == 0:
+        failures.append(
+            "enabled-replay: no wal record metrics recorded — emission "
+            "is wired wrong"
+        )
+    events = meta["crash_events"]
+    if not events.get("wal_append"):
+        failures.append(
+            "enabled-replay: no wal_append events captured in the "
+            "crash arm"
+        )
+    if not events.get("group_commit"):
+        failures.append(
+            "enabled-replay: no group_commit events captured"
+        )
+    if not events.get("recovery_replay"):
+        failures.append(
+            "enabled-replay: no recovery_replay event captured — the "
+            "recovery was invisible"
+        )
+    if not failures:
+        print(
+            f"wal enabled-replay: cost identical; "
+            f"{events['wal_append']} wal_append, "
+            f"{events['group_commit']} group_commit and "
+            f"{events['recovery_replay']} recovery_replay events captured"
+        )
+    return failures
 
 
 def check_cluster(metrics: dict, meta: dict, baseline: dict) -> list:
@@ -951,15 +1108,27 @@ def check_enabled_replay() -> list:
 
 
 def smoke_deprecation_free_db_surface() -> int:
-    """The new DBTable read surface must not trip DeprecationWarning."""
+    """The DBTable read/write surface must not trip DeprecationWarning."""
     script = (
         "from repro.db import Database\n"
         "from repro.table.table import RowSchema\n"
+        "from repro.wal import WalConfig\n"
         "db = Database()\n"
         "t = db.create_table(RowSchema('t', ('a', 'b'), (8, 8)))\n"
         "t.create_index('by_a', ('a',))\n"
-        "t.insert_many([(i, i * 2) for i in range(200)])\n"
+        "t.insert_batch([(i, i * 2) for i in range(200)])\n"
         "assert t.get('by_a', (5,)) == (5, 10)\n"
+        "wal_db = Database(wal=WalConfig(group_size=16))\n"
+        "wt = wal_db.create_table(RowSchema('t', ('a', 'b'), (8, 8)))\n"
+        "wt.create_index('by_a', ('a',))\n"
+        "with wal_db.begin_batch() as batch:\n"
+        "    batch.insert_batch(wt, [(i, i) for i in range(32)])\n"
+        "    batch.insert(wt, (99, 99))\n"
+        "stale = wt.insert((500, 0))\n"
+        "with wal_db.begin_batch() as batch:\n"
+        "    batch.delete(wt, stale)\n"
+        "assert wt.get('by_a', (99,)) == (99, 99)\n"
+        "assert wt.get('by_a', (500,)) is None\n"
         "assert len(t.get_batch('by_a', [(i,) for i in range(8)])) == 8\n"
         "assert len(t.scan('by_a', (0,), count=10)) == 10\n"
         "keys = t.scan('by_a', (0,), count=4, include_rows=False)\n"
@@ -1052,6 +1221,9 @@ def main() -> int:
     cluster_result, cluster_metrics, cluster_meta = run_cluster_smoke()
     print(cluster_result.render())
     print()
+    wal_result, wal_metrics, wal_meta = run_wal_smoke()
+    print(wal_result.render())
+    print()
 
     if args.update:
         payload = {"config": {k: list(v) if isinstance(v, tuple) else v
@@ -1109,6 +1281,14 @@ def main() -> int:
             json.dump(cluster_payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"baseline written to {CLUSTER_BASELINE_PATH}")
+        wal_payload = {
+            "config": dict(WAL_SMOKE),
+            **{k: round(v, 4) for k, v in wal_metrics.items()},
+        }
+        with open(WAL_BASELINE_PATH, "w") as fh:
+            json.dump(wal_payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {WAL_BASELINE_PATH}")
         return 0
 
     if not os.path.exists(BASELINE_PATH):
@@ -1174,6 +1354,14 @@ def main() -> int:
         check_cluster(cluster_metrics, cluster_meta, cluster_baseline)
     )
     failures.extend(check_cluster_enabled_replay(cluster_metrics))
+
+    if not os.path.exists(WAL_BASELINE_PATH):
+        print(f"no baseline at {WAL_BASELINE_PATH}; run with --update")
+        return 1
+    with open(WAL_BASELINE_PATH) as fh:
+        wal_baseline = json.load(fh)
+    failures.extend(check_wal(wal_metrics, wal_meta, wal_baseline))
+    failures.extend(check_wal_enabled_replay(wal_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

@@ -38,6 +38,13 @@ The facade groups the stable surface of the layered packages:
   :class:`ReplicaAdvisor` re-scores and rebuilds replicas;
 * **execution** — :class:`BatchExecutor` for amortized operation
   batches over one index;
+* **durability** — the transactional write surface and the write-ahead
+  log behind it: :meth:`Database.begin_batch` yields a
+  :class:`WriteBatch`; ``Database(wal=WalConfig(...))`` attaches the
+  per-shard group-committed log; :func:`recover_database` /
+  :class:`RecoveryReport` / :func:`state_digest` rebuild and verify
+  after a :class:`CrashError` raised at a scripted
+  ``FaultPlan.kill(...)`` point;
 * **caching** — :class:`CacheConfig` for budget-aware adaptive
   caching (``create_index(..., cache=CacheConfig())``), plus the
   :class:`IndexCache` / :class:`CacheStats` / :class:`CacheReport`
@@ -79,6 +86,7 @@ from repro.cluster import (
 from repro.core.config import ElasticConfig
 from repro.core.elastic_btree import ElasticBPlusTree
 from repro.db.database import Database, DBTable, SecondaryIndex
+from repro.db.write import WriteBatch
 from repro.engine import (
     BudgetArbiter,
     FaultPlan,
@@ -101,10 +109,12 @@ from repro.errors import (
     IndexExistsError,
     InvalidBudgetError,
     LeafKindError,
+    RecoveryError,
     ReplicaConfigError,
     ReproError,
     ShardConfigError,
     ShardConflictError,
+    WalError,
 )
 from repro.exec import BatchExecutor
 from repro.learned import LearnedLeaf
@@ -118,6 +128,15 @@ from repro.registry import (
     register_index,
 )
 from repro.table.table import RowSchema, Table
+from repro.wal import (
+    CrashError,
+    RecoveryReport,
+    WalConfig,
+    WalRecord,
+    WriteAheadLog,
+    recover_database,
+    state_digest,
+)
 
 __all__ = [
     # database
@@ -166,6 +185,15 @@ __all__ = [
     "preset_profile",
     # execution
     "BatchExecutor",
+    # durability
+    "CrashError",
+    "RecoveryReport",
+    "WalConfig",
+    "WalRecord",
+    "WriteAheadLog",
+    "WriteBatch",
+    "recover_database",
+    "state_digest",
     # caching
     "CacheConfig",
     "CacheReport",
@@ -187,10 +215,12 @@ __all__ = [
     "IndexExistsError",
     "InvalidBudgetError",
     "LeafKindError",
+    "RecoveryError",
     "ReplicaConfigError",
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",
+    "WalError",
     # observability
     "obs",
 ]

@@ -133,7 +133,7 @@ def _run_arm(
         replicas=replicas,
     )
     for start in range(0, len(values), chunk):
-        table.insert_many([
+        table.insert_batch([
             (v, v & 0xFFFF) for v in values[start:start + chunk]
         ])
     results: List = []
@@ -235,7 +235,7 @@ def run(
 
     # Failover arm: a scripted mid-workload outage of the hot-serving
     # cache replica, run twice — must replay exactly.  The load phase
-    # fires one heartbeat per insert_many chunk; the outage starts ten
+    # fires one heartbeat per insert_batch chunk; the outage starts ten
     # beats into the measured stream and recovery happens mid-stream.
     load_beats = (len(values) + 511) // 512
     after_beats = load_beats + 10

@@ -34,6 +34,8 @@ _TRAJECTORY = (
      "learned.elastic-3way.sorted_cost_units"),
     ("BENCH_cluster.json", "divergent replica routing",
      "cluster.uniform_cost_units", "cluster.divergent_cost_units"),
+    ("BENCH_wal.json", "group-committed WAL",
+     "wal.perop_cost_units", "wal.group_cost_units"),
 )
 
 

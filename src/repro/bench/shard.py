@@ -124,9 +124,9 @@ def _run_arm(
     try:
         with db.cost.measure() as delta:
             for i in range(0, len(big_rows), 1024):
-                big.insert_many(big_rows[i:i + 1024])
+                big.insert_batch(big_rows[i:i + 1024])
             for i in range(0, len(small_rows), 1024):
-                small.insert_many(small_rows[i:i + 1024])
+                small.insert_batch(small_rows[i:i + 1024])
         phase_costs["load"] = delta.weighted_cost()
         for phase in (1, 2):
             with db.cost.measure() as delta:

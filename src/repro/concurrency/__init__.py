@@ -17,10 +17,17 @@ saturate on retries at shared upper nodes and on bandwidth (copy-heavy
 indexes saturate earlier) — the two effects behind Figure 7's shapes.
 """
 
-from repro.concurrency.olc import OLCSimulator, OpRecord, ScalingResult, record_ops
+from repro.concurrency.olc import (
+    MixedScalingResult,
+    OLCSimulator,
+    OpRecord,
+    ScalingResult,
+    record_ops,
+)
 from repro.concurrency.olc_tree import OLCBPlusTree, Scheduler, Restart
 
 __all__ = [
+    "MixedScalingResult",
     "OLCSimulator",
     "OpRecord",
     "ScalingResult",

@@ -42,6 +42,25 @@ class ScalingResult:
         return self.ops / self.makespan_units
 
 
+@dataclass
+class MixedScalingResult(ScalingResult):
+    """Outcome of a mixed reader/writer simulation (:meth:`OLCSimulator.
+    run_mixed`).
+
+    Extends the read-only result with the write side's durability
+    accounting: writers serialize their commit records on one log-append
+    clock and fsync in groups, so ``log_wait_units`` (time writers spent
+    queued behind the log) and ``group_commits`` (fsync barriers
+    charged) quantify how group commit trades commit latency for
+    barrier amortization under concurrency.
+    """
+
+    reader_ops: int = 0
+    writer_ops: int = 0
+    group_commits: int = 0
+    log_wait_units: float = 0.0
+
+
 def record_ops(
     index,
     operations: Iterable[Callable[[], None]],
@@ -154,6 +173,125 @@ class OLCSimulator:
             ops=len(records),
             makespan_units=makespan,
             retries=retries,
+        )
+
+    def run_mixed(
+        self,
+        records: Sequence[OpRecord],
+        threads: int,
+        group_size: int = 1,
+        append_units: Optional[float] = None,
+        fsync_units: Optional[float] = None,
+    ) -> MixedScalingResult:
+        """Simulate a mixed reader/writer recording with a shared WAL.
+
+        Ops with a non-empty ``write_set`` are writers: besides the OLC
+        conflict rules of :meth:`run`, each one appends a commit record
+        to a single log whose tail is a serial resource (the append
+        clock), paying ``append_units`` there.  Every ``group_size``-th
+        append closes a commit group and additionally pays
+        ``fsync_units`` on the log clock — the group-commit barrier —
+        and a final partial group, if any, is flushed at the end of the
+        simulation.  Readers never touch the log.
+
+        ``append_units`` / ``fsync_units`` default to the
+        ``log_append`` / ``log_fsync`` weights of a fresh
+        :class:`~repro.memory.cost_model.CostModel`, so the simulator
+        prices durability exactly like the real write path.
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        weights = CostModel().weights
+        if append_units is None:
+            append_units = weights.log_append
+        if fsync_units is None:
+            fsync_units = weights.log_fsync
+        thread_free = [0.0] * threads
+        bw_clock = 0.0
+        log_clock = 0.0
+        retries = 0
+        reader_ops = 0
+        writer_ops = 0
+        group_commits = 0
+        log_wait = 0.0
+        pending_in_group = 0
+        write_intervals: Dict[int, List[Tuple[float, float, int]]] = {}
+        makespan = 0.0
+        for i, record in enumerate(records):
+            worker = min(range(threads), key=thread_free.__getitem__)
+            start = thread_free[worker]
+            duration = record.cost_units
+            if record.lines > 0 and self.bandwidth > 0:
+                bw_start = max(start, bw_clock)
+                bw_time = record.lines / self.bandwidth
+                bw_clock = bw_start + bw_time
+                end = max(start + duration, bw_clock)
+            else:
+                end = start + duration
+            attempt = 0
+            touched = record.read_set + record.write_set
+            while attempt < self.max_retries:
+                conflict = False
+                for node in touched:
+                    for (ws, we, owner) in write_intervals.get(node, ()):
+                        if owner != worker and ws < end and we > start:
+                            conflict = True
+                            break
+                    if conflict:
+                        break
+                if not conflict:
+                    break
+                retries += 1
+                attempt += 1
+                end += record.cost_units  # redo the work
+            if record.write_set:
+                writer_ops += 1
+                # Serialize on the log tail: the commit record cannot
+                # land before both the writer and the log are free.
+                log_start = max(end, log_clock)
+                log_wait += log_start - end
+                log_clock = log_start + append_units
+                pending_in_group += 1
+                if pending_in_group >= group_size:
+                    log_clock += fsync_units
+                    group_commits += 1
+                    pending_in_group = 0
+                end = log_clock
+            else:
+                reader_ops += 1
+            for node in record.write_set:
+                bucket = write_intervals.setdefault(node, [])
+                bucket.append((start, end, worker))
+                if len(bucket) > 8:
+                    del bucket[: len(bucket) - 8]
+            thread_free[worker] = end
+            if end > makespan:
+                makespan = end
+            if i % 4096 == 4095:
+                horizon = min(thread_free)
+                for node in list(write_intervals):
+                    kept = [iv for iv in write_intervals[node] if iv[1] >= horizon]
+                    if kept:
+                        write_intervals[node] = kept
+                    else:
+                        del write_intervals[node]
+        if pending_in_group:
+            # Flush the trailing partial group (checkpoint barrier).
+            log_clock += fsync_units
+            group_commits += 1
+            if log_clock > makespan:
+                makespan = log_clock
+        return MixedScalingResult(
+            threads=threads,
+            ops=len(records),
+            makespan_units=makespan,
+            retries=retries,
+            reader_ops=reader_ops,
+            writer_ops=writer_ops,
+            group_commits=group_commits,
+            log_wait_units=log_wait,
         )
 
     def sweep(

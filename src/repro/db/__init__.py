@@ -11,5 +11,8 @@ own slice of the memory budget, or any registered comparator.
 """
 
 from repro.db.database import Database, DBTable, SecondaryIndex, TableView
+from repro.db.write import WriteBatch
 
-__all__ = ["Database", "DBTable", "SecondaryIndex", "TableView"]
+__all__ = [
+    "Database", "DBTable", "SecondaryIndex", "TableView", "WriteBatch",
+]

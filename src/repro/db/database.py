@@ -14,11 +14,13 @@ from repro.engine import (
     largest_remainder,
     make_executor,
 )
+from repro.db.write import WriteBatch
 from repro.errors import (
     CacheConfigError,
     IndexExistsError,
     InvalidBudgetError,
     ShardConfigError,
+    WalError,
 )
 from repro.exec import BatchExecutor
 from repro.keys.encoding import encode_f64, encode_i64, encode_str
@@ -27,6 +29,7 @@ from repro.memory.cost_model import CostModel
 from repro.obs import Event, Observer
 from repro.registry import build_index
 from repro.table.table import RowSchema, Table
+from repro.wal.log import TableSnapshot, WalConfig, WriteAheadLog
 
 
 def _encode_column(value, ctype: str, width: int) -> bytes:
@@ -182,6 +185,13 @@ class DBTable:
             raise IndexExistsError(f"index {name!r} already exists")
         if shards < 1:
             raise ShardConfigError("shards must be >= 1")
+        # Pre-mutation argument image for the DDL history (crash
+        # recovery replays it verbatim; see Database.snapshot).
+        ddl_kwargs = dict(
+            kind=kind, size_bound_bytes=size_bound_bytes, shards=shards,
+            partitioner=partitioner, parallel=parallel, cache=cache,
+            replicas=replicas, **index_kwargs,
+        )
         if replicas is not None:
             replicas.validate()
             if replicas.replicas == 1:
@@ -270,40 +280,71 @@ class DBTable:
         secondary.view = view
         self.indexes[name] = secondary
         self.db._register_with_arbiter(self.schema.name, name, index)
+        self.db._ddl.append((
+            "create_index", self.schema.name, name, tuple(columns),
+            ddl_kwargs,
+        ))
         # Back-fill existing rows.
         for tid, row in self.table.iter_live():
             index.insert(secondary.key_of_row(row), tid)
         return secondary
 
     # ------------------------------------------------------------------
-    # Row operations
+    # Row operations (the transactional write surface)
     # ------------------------------------------------------------------
+    # One spelling per shape, mirroring the read side: ``insert`` /
+    # ``insert_batch`` for stores, ``delete`` for removals.  All three
+    # are one-operation auto-committed :class:`~repro.db.write.
+    # WriteBatch`es, so every mutation — scalar or staged — runs the
+    # same facade -> WAL -> index pipeline; ``db.begin_batch()`` stages
+    # several operations under one commit (one log append phase, one
+    # group-commit schedule).  The pre-redesign ``insert_many`` is a
+    # DeprecationWarning shim over ``insert_batch``.
+
     def insert(self, row: Sequence[int]) -> int:
         """Store a row and update every secondary index."""
-        row = tuple(row)
-        if len(row) != len(self.schema.column_names):
-            raise ValueError(
-                f"row has {len(row)} columns, schema needs "
-                f"{len(self.schema.column_names)}"
-            )
+        batch = self.db.begin_batch()
+        batch.insert(self, row)
+        return batch.commit()[0]
+
+    def insert_batch(self, rows: Sequence[Sequence[int]]) -> List[int]:
+        """Store a batch of rows, updating every index with one batch
+        insert per index (shared descents on batch-capable indexes)."""
+        batch = self.db.begin_batch()
+        batch.insert_batch(self, rows)
+        return batch.commit()
+
+    def insert_many(self, rows: Sequence[Sequence[int]]) -> List[int]:
+        """Deprecated spelling of :meth:`insert_batch`."""
+        warnings.warn(
+            "insert_many is deprecated; use insert_batch (or stage the "
+            "rows on db.begin_batch())",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.insert_batch(rows)
+
+    def delete(self, tid: int) -> Tuple[int, ...]:
+        """Remove a row from the store and every index."""
+        batch = self.db.begin_batch()
+        batch.delete(self, tid)
+        batch.commit()
+        return batch.deleted_rows[0]
+
+    # Apply-phase primitives (called by WriteBatch.commit and by crash
+    # recovery's log replay).  These preserve the historical charge
+    # sequences exactly, so a WAL-less database stays byte-identical to
+    # the pre-batch write path.
+    def _apply_insert(self, row: Tuple) -> int:
         tid = self.table.insert_row(row)
         for secondary in self.indexes.values():
             secondary.index.insert(secondary.key_of_row(row), tid)
-        self.db._tick(1)
         return tid
 
-    def insert_many(self, rows: Sequence[Sequence[int]]) -> List[int]:
-        """Store a batch of rows, updating every index with one batch
-        insert per index (shared descents on batch-capable indexes)."""
+    def _apply_insert_rows(self, rows: Sequence[Tuple]) -> List[int]:
         stored: List[Tuple[Tuple, int]] = []
         tids: List[int] = []
         for row in rows:
-            row = tuple(row)
-            if len(row) != len(self.schema.column_names):
-                raise ValueError(
-                    f"row has {len(row)} columns, schema needs "
-                    f"{len(self.schema.column_names)}"
-                )
             tid = self.table.insert_row(row)
             stored.append((row, tid))
             tids.append(tid)
@@ -311,16 +352,13 @@ class DBTable:
             secondary.executor.insert_batch(
                 [(secondary.key_of_row(row), tid) for row, tid in stored]
             )
-        self.db._tick(len(stored))
         return tids
 
-    def delete(self, tid: int) -> Tuple[int, ...]:
-        """Remove a row from the store and every index."""
+    def _apply_delete(self, tid: int) -> Tuple[int, ...]:
         row = self.table.row(tid)
         for secondary in self.indexes.values():
             secondary.index.remove(secondary.key_of_row(row))
         self.table.delete_row(tid)
-        self.db._tick(1)
         return row
 
     # ------------------------------------------------------------------
@@ -462,21 +500,80 @@ class Database:
     :meth:`metrics_snapshot` / :meth:`event_log`.  With it disabled (the
     default) no events are published, so the observer stays empty and
     the hot paths are untouched.
+
+    A :class:`~repro.wal.WalConfig` as ``wal`` attaches the durable
+    write pipeline: every :class:`~repro.db.write.WriteBatch` commit
+    appends logical redo records to a per-shard group-committed
+    write-ahead log before touching volatile state, and
+    :func:`repro.wal.recover_database` rebuilds the database from the
+    snapshot (:meth:`snapshot`) plus the log's durable prefix after a
+    crash.  ``wal=None`` (the default) keeps the write path
+    byte-identical to a log-less database.
     """
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        wal: Optional[WalConfig] = None,
+    ) -> None:
         self.cost = cost_model if cost_model is not None else CostModel()
         self.allocator = TrackingAllocator(cost_model=self.cost)
         self.tables: Dict[str, DBTable] = {}
         self.observer = Observer()
         self.arbiter: Optional[BudgetArbiter] = None
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(wal, self.cost) if wal is not None else None
+        )
+        #: Recorded schema history (create_table / create_index /
+        #: enable_budget_arbiter), replayed verbatim by crash recovery.
+        self._ddl: List[tuple] = []
 
     def create_table(self, schema: RowSchema) -> DBTable:
         if schema.name in self.tables:
             raise ValueError(f"table {schema.name!r} already exists")
         table = DBTable(self, schema)
         self.tables[schema.name] = table
+        self._ddl.append(("create_table", schema))
         return table
+
+    # ------------------------------------------------------------------
+    # Transactional writes and durability
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> WriteBatch:
+        """Open a :class:`~repro.db.write.WriteBatch` — the single
+        transactional write entry point.  Stage inserts and deletes
+        across any of this database's tables, then ``commit()`` (or
+        exit the ``with`` block) to run the write pipeline; with a
+        write-ahead log configured the whole batch shares one append
+        phase and one group-commit schedule."""
+        return WriteBatch(self)
+
+    def snapshot(self) -> int:
+        """Checkpoint: flush the log and store every table's image.
+
+        Forces the pending log suffix durable (charging its fsync
+        barriers), then copies each table's row store — including dead
+        slots and the free-tid stack, so post-snapshot replay re-derives
+        exact tuple ids — onto the modeled stable media, charging
+        ``copy_line`` for the live bytes.  Recovery then replays only
+        records above the returned snapshot lsn.  Requires a
+        write-ahead log (:class:`~repro.errors.WalError` otherwise).
+        """
+        if self.wal is None:
+            raise WalError("snapshot requires a write-ahead log")
+        self.wal.flush()
+        tables: Dict[str, TableSnapshot] = {}
+        for name, dbtable in self.tables.items():
+            store = dbtable.table
+            tables[name] = TableSnapshot(
+                rows=list(store._rows),
+                free_tids=list(store._free_tids),
+                live_rows=len(store),
+            )
+            self.cost.copy_bytes(len(store) * store.row_bytes)
+        snapshot_lsn = self.wal.next_lsn - 1
+        self.wal.install_snapshot(tables, snapshot_lsn)
+        return snapshot_lsn
 
     # ------------------------------------------------------------------
     # Global budget arbitration
@@ -497,6 +594,9 @@ class Database:
         if self.arbiter is not None:
             raise InvalidBudgetError("budget arbiter already enabled")
         self.arbiter = BudgetArbiter(total_bytes, **arbiter_kwargs)
+        self._ddl.append((
+            "enable_budget_arbiter", total_bytes, dict(arbiter_kwargs)
+        ))
         for table_name, table in self.tables.items():
             for index_name, secondary in table.indexes.items():
                 self._register_with_arbiter(
@@ -550,7 +650,13 @@ class Database:
                 self.arbiter.register_cache(label, cache)
 
     def _tick(self, ops: int) -> None:
-        """Operation-boundary hook: drives periodic arbitration."""
+        """Operation-boundary hook: drives periodic arbitration.
+
+        Every read path and — via :meth:`WriteBatch.commit
+        <repro.db.write.WriteBatch.commit>` — every write path, batched
+        or scalar, WAL or not, ticks here, so the budget arbiter sees
+        one op count per operation actually executed.
+        """
         if self.arbiter is not None:
             self.arbiter.tick(ops)
 

@@ -24,6 +24,14 @@ in the same vocabulary the cost model uses:
   cluster router marks it down, reroutes its query classes to the
   next-cheapest survivor, and re-admits it at the first healthy beat
   (see :mod:`repro.cluster`).
+* ``kill(append=k)`` / ``kill(fsync=k)`` / ``kill(apply=k)`` — a
+  simulated process kill at a write-ahead-log point (see
+  :mod:`repro.wal`): the crash fires immediately *after* the ``k``-th
+  (0-based, counted over the log's lifetime) record append, stream
+  fsync, or applied operation completes, raising
+  :class:`~repro.wal.CrashError`.  Everything volatile at that instant
+  — unfsynced log suffixes, in-memory table and index state — is lost;
+  recovery replays the durable prefix (snapshot + log).
 
 Plans are consumed mutably (each scripted fault fires once) and are
 pure bookkeeping: a plan never touches wall-clock, threads, or random
@@ -48,6 +56,8 @@ class FaultPlan:
         #: replica -> outage segments, each [healthy beats to skip,
         #: failed beats to serve], consumed in scripting order.
         self._outages: Dict[int, list] = {}
+        #: WAL kill point -> ordinal after which the crash fires.
+        self._kills: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Scripting (builder-style, chainable)
@@ -86,6 +96,37 @@ class FaultPlan:
         if after < 0:
             raise ValueError("after must be >= 0")
         self._outages.setdefault(replica, []).append([after, beats])
+        return self
+
+    def kill(
+        self,
+        append: int = -1,
+        fsync: int = -1,
+        apply: int = -1,
+    ) -> "FaultPlan":
+        """Script one simulated process kill at a WAL point.
+
+        Exactly one of ``append`` / ``fsync`` / ``apply`` names the
+        0-based lifetime ordinal *after* which the crash fires: the
+        action completes, then the kill lands (so a crash after
+        ``append=k`` leaves ``k + 1`` records appended but possibly
+        none of them durable).  One kill per point may be scripted.
+        """
+        requested = {
+            point: ordinal
+            for point, ordinal in (
+                ("append", append), ("fsync", fsync), ("apply", apply),
+            )
+            if ordinal >= 0
+        }
+        if len(requested) != 1:
+            raise ValueError(
+                "kill() takes exactly one of append=, fsync=, apply="
+            )
+        (point, ordinal), = requested.items()
+        if point in self._kills:
+            raise ValueError(f"a {point} kill is already scripted")
+        self._kills[point] = ordinal
         return self
 
     # ------------------------------------------------------------------
@@ -145,6 +186,14 @@ class FaultPlan:
                 del self._outages[replica]
         return True
 
+    def take_kill(self, point: str, ordinal: int) -> bool:
+        """Consume the scripted kill at ``point`` if it matches this
+        ``ordinal``; True means the caller must crash now."""
+        if self._kills.get(point) != ordinal:
+            return False
+        del self._kills[point]
+        return True
+
     # ------------------------------------------------------------------
     @property
     def exhausted(self) -> bool:
@@ -154,6 +203,7 @@ class FaultPlan:
             and not self._delays
             and self._saturated_calls == 0
             and not self._outages
+            and not self._kills
         )
 
     def __repr__(self) -> str:
@@ -161,5 +211,6 @@ class FaultPlan:
             f"FaultPlan(conflicts={self._conflicts!r}, "
             f"delays={self._delays!r}, "
             f"saturated_calls={self._saturated_calls}, "
-            f"outages={self._outages!r})"
+            f"outages={self._outages!r}, "
+            f"kills={self._kills!r})"
         )

@@ -44,6 +44,21 @@ The concrete classes map to the layers that raise them:
   count, non-positive budget weights, an elastic profile with no bound
   to apportion, or a routing/heartbeat knob that can never fire
   (``repro.cluster``, ``repro.db``).
+* :class:`WalError` — an invalid write-ahead-log configuration or a
+  misuse of the transactional write surface: non-positive group sizes
+  or stream counts, committing a :class:`~repro.db.write.WriteBatch`
+  twice, or staging operations into one already committed
+  (``repro.wal``, ``repro.db``).
+* :class:`RecoveryError` — crash recovery cannot proceed: recovering a
+  database that has no write-ahead log, or replaying a log whose
+  records reference tables the DDL history never created
+  (``repro.wal.recovery``).
+
+Deliberately *outside* this hierarchy: :class:`repro.wal.CrashError`,
+the simulated kill raised at a :meth:`FaultPlan.kill <repro.engine.
+faults.FaultPlan.kill>` point.  A crash is not an input error — it must
+never be swallowed by an ``except ValueError`` — so it subclasses
+:class:`RuntimeError` instead.
 """
 
 from __future__ import annotations
@@ -85,14 +100,24 @@ class ReplicaConfigError(ReproError):
     """A replica-cluster topology or routing configuration is invalid."""
 
 
+class WalError(ReproError):
+    """A write-ahead-log configuration or write-batch use is invalid."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery cannot proceed from the given database state."""
+
+
 __all__ = [
     "CacheConfigError",
     "ExecutorSaturatedError",
     "IndexExistsError",
     "InvalidBudgetError",
     "LeafKindError",
+    "RecoveryError",
     "ReplicaConfigError",
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",
+    "WalError",
 ]

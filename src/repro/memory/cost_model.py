@@ -57,6 +57,21 @@ Event categories
     small footprint keeps resident in L1/L2, so it overlaps the leaf's
     line touch almost entirely; calibrated at 0.15 — above a ``compare``
     (it is several of them plus the FMA) but well under any DRAM miss.
+``log_append``
+    One write-ahead-log record appended to a shard's in-memory log
+    buffer (``repro.wal``): serializing a fixed-width row image into a
+    sequential, already-resident buffer page.  Mostly streaming stores
+    that retire behind the row write itself; calibrated at 0.5 — two
+    sequential lines' worth of work, well under any random miss.
+``log_fsync``
+    One durability barrier on one log stream (the modeled ``fsync``):
+    forcing the stream's appended-but-volatile suffix to stable media
+    and advancing its durable watermark.  Device flush latency dwarfs
+    every DRAM figure; calibrated at 32.0 (tens of microseconds against
+    a ~100 ns miss yardstick).  Group commit amortizes this: one
+    barrier covers every record of a commit group, mirroring how
+    ``wave_issue`` amortizes one miss latency across a prefetch wave —
+    which is exactly the saving the ``wal`` experiment gates on.
 ``wave_issue``
     Per-wave orchestration fee of prefetch-wave accounting (see
     :meth:`CostModel.mlp_window`): issuing a group of independent loads
@@ -98,6 +113,8 @@ class CostWeights:
     cache_hit: float = 0.1
     wave_issue: float = 0.1
     model_eval: float = 0.15
+    log_append: float = 0.5
+    log_fsync: float = 32.0
 
     def as_dict(self) -> Dict[str, float]:
         """Return the weights as a plain dict keyed by category name.
@@ -291,6 +308,14 @@ class CostModel:
     def model_evals(self, n: int = 1) -> None:
         """Charge ``n`` learned-model position predictions."""
         self.charge("model_eval", n)
+
+    def log_appends(self, n: int = 1) -> None:
+        """Charge ``n`` write-ahead-log record appends."""
+        self.charge("log_append", n)
+
+    def log_fsyncs(self, n: int = 1) -> None:
+        """Charge ``n`` log-stream durability barriers (group commits)."""
+        self.charge("log_fsync", n)
 
     def compares(self, n: int = 1) -> None:
         """Charge ``n`` key comparisons / bit tests."""

@@ -45,12 +45,14 @@ from repro.obs.events import (
     Event,
     EventBus,
     ExecutorDegradeEvent,
+    GroupCommitEvent,
     LeafConversionEvent,
     LeafRetrainEvent,
     MlpWaveEvent,
     ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    RecoveryReplayEvent,
     ReplicaFailoverEvent,
     ReplicaRebuildEvent,
     ReplicaRouteEvent,
@@ -59,6 +61,7 @@ from repro.obs.events import (
     ShardPressureEvent,
     ShardRetryEvent,
     ShardRouteEvent,
+    WalAppendEvent,
 )
 from repro.obs.exporters import (
     PressureTimeline,
@@ -92,6 +95,7 @@ __all__ = [
     "EventBus",
     "ExecutorDegradeEvent",
     "Gauge",
+    "GroupCommitEvent",
     "Histogram",
     "LeafConversionEvent",
     "LeafRetrainEvent",
@@ -102,6 +106,7 @@ __all__ = [
     "PolicyActionEvent",
     "PressureTimeline",
     "PressureTransitionEvent",
+    "RecoveryReplayEvent",
     "ReplicaFailoverEvent",
     "ReplicaRebuildEvent",
     "ReplicaRouteEvent",
@@ -112,6 +117,7 @@ __all__ = [
     "ShardRouteEvent",
     "Span",
     "Tracer",
+    "WalAppendEvent",
     "emit",
     "enabled",
     "event_to_json",

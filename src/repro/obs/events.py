@@ -469,6 +469,69 @@ class ClusterBudgetEvent(Event):
     reason: str = ""
 
 
+@dataclass
+class WalAppendEvent(Event):
+    """One write batch appended its records to the write-ahead log.
+
+    Emitted per committed :class:`~repro.db.write.WriteBatch` after the
+    append phase: ``records`` log records covering ``batch_ops`` staged
+    operations were serialized (``nbytes`` payload bytes total) across
+    ``streams`` log streams, occupying the contiguous lsn range
+    ``[first_lsn, last_lsn]``.  Appended is not durable — the matching
+    :class:`GroupCommitEvent` stream records when the fsync barriers
+    land.
+    """
+
+    kind: ClassVar[str] = "wal_append"
+    records: int = 0
+    batch_ops: int = 0
+    nbytes: int = 0
+    streams: int = 0
+    first_lsn: int = 0
+    last_lsn: int = 0
+
+
+@dataclass
+class GroupCommitEvent(Event):
+    """One fsync barrier made a group of log records durable.
+
+    Emitted per ``log_fsync`` charged: ``records`` appended records on
+    ``stream`` became durable together under one barrier (group commit
+    — the fsync amortization the cost model prices), advancing the
+    stream's durable watermark to ``durable_lsn``.  ``group_size`` is
+    the configured commit-group width the barrier was scheduled under.
+    """
+
+    kind: ClassVar[str] = "group_commit"
+    stream: int = 0
+    records: int = 0
+    group_size: int = 0
+    durable_lsn: int = 0
+
+
+@dataclass
+class RecoveryReplayEvent(Event):
+    """Crash recovery replayed the durable log suffix into a fresh DB.
+
+    One event per :func:`~repro.wal.recovery.recover_database` call:
+    ``records_replayed`` durable records (lsn above ``snapshot_lsn``)
+    were re-applied, ``records_discarded`` torn (appended but never
+    fsynced) records were dropped, and the recovered log's durable
+    watermark is ``durable_lsn``.  ``cost_units`` is the measured
+    weighted cost of the replay (attributed to ``"recovery"`` on the
+    cost model's tag ledger).
+    """
+
+    kind: ClassVar[str] = "recovery_replay"
+    records_replayed: int = 0
+    records_discarded: int = 0
+    snapshot_lsn: int = 0
+    durable_lsn: int = 0
+    tables: int = 0
+    indexes: int = 0
+    cost_units: float = 0.0
+
+
 class EventBus:
     """A tiny synchronous publish/subscribe hub.
 

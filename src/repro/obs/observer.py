@@ -29,12 +29,14 @@ from repro.obs.events import (
     Event,
     EventBus,
     ExecutorDegradeEvent,
+    GroupCommitEvent,
     LeafConversionEvent,
     LeafRetrainEvent,
     MlpWaveEvent,
     ParallelGatherEvent,
     PolicyActionEvent,
     PressureTransitionEvent,
+    RecoveryReplayEvent,
     ReplicaFailoverEvent,
     ReplicaRebuildEvent,
     ReplicaRouteEvent,
@@ -43,6 +45,7 @@ from repro.obs.events import (
     ShardPressureEvent,
     ShardRetryEvent,
     ShardRouteEvent,
+    WalAppendEvent,
 )
 from repro.obs.exporters import write_event_log
 from repro.obs.metrics import MetricsRegistry
@@ -221,6 +224,39 @@ class Observer:
             "repro_cluster_budget_bytes",
             "Per-replica share of the cluster-global soft bound.",
         )
+        self._wal_records = reg.counter(
+            "repro_wal_records_total",
+            "Write-ahead-log records appended, over all streams.",
+        )
+        self._wal_bytes = reg.counter(
+            "repro_wal_bytes_total",
+            "Write-ahead-log payload bytes appended.",
+        )
+        self._group_commits = reg.counter(
+            "repro_group_commits_total",
+            "Fsync barriers (group commits) by log stream.",
+        )
+        self._group_commit_records = reg.counter(
+            "repro_group_commit_records_total",
+            "Records made durable by group commits, by log stream.",
+        )
+        self._wal_durable_lsn = reg.gauge(
+            "repro_wal_durable_lsn",
+            "Durable lsn watermark per log stream, from the most "
+            "recent group commit.",
+        )
+        self._recovery_replayed = reg.counter(
+            "repro_recovery_replayed_records_total",
+            "Log records re-applied by crash recovery.",
+        )
+        self._recovery_discarded = reg.counter(
+            "repro_recovery_discarded_records_total",
+            "Torn (non-durable) log records dropped by crash recovery.",
+        )
+        self._recovery_cost = reg.histogram(
+            "repro_recovery_cost_units",
+            "Weighted cost-model units per recovery replay.",
+        )
         #: Running (hits, lookups) tallies per cache name feeding the
         #: hit-rate gauge; lookups = row-tier probes (hit + miss).
         self._cache_tallies: dict = {}
@@ -334,6 +370,21 @@ class Observer:
         elif isinstance(event, ClusterBudgetEvent):
             for replica, bound in zip(event.replicas, event.bounds):
                 self._cluster_budget.set(bound, replica=replica)
+        elif isinstance(event, WalAppendEvent):
+            self._wal_records.inc(event.records)
+            self._wal_bytes.inc(event.nbytes)
+        elif isinstance(event, GroupCommitEvent):
+            self._group_commits.inc(stream=str(event.stream))
+            self._group_commit_records.inc(
+                event.records, stream=str(event.stream)
+            )
+            self._wal_durable_lsn.set(
+                event.durable_lsn, stream=str(event.stream)
+            )
+        elif isinstance(event, RecoveryReplayEvent):
+            self._recovery_replayed.inc(event.records_replayed)
+            self._recovery_discarded.inc(event.records_discarded)
+            self._recovery_cost.observe(event.cost_units, kind="replay")
         elif isinstance(event, ParallelGatherEvent):
             self._parallel_serial_sum.set(event.serial_sum_units)
             self._parallel_critical_path.set(event.critical_path_units)

@@ -7,6 +7,7 @@ from repro.tools.inspect import (
     format_size,
     leaf_histogram,
     mlp_summary,
+    wal_summary,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "format_size",
     "leaf_histogram",
     "mlp_summary",
+    "wal_summary",
 ]

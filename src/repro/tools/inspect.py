@@ -187,6 +187,38 @@ def mlp_summary(target) -> str:
     return "\n".join(lines)
 
 
+def wal_summary(target) -> str:
+    """Write-ahead-log state table: streams, watermarks, pending tail.
+
+    Accepts a :class:`~repro.db.database.Database` with
+    ``Database(wal=WalConfig(...))`` attached, or a
+    :class:`~repro.wal.WriteAheadLog` directly.  One header block for
+    the log as a whole (group size, snapshot barrier, durable vs
+    pending record counts), then one row per stream with its durable
+    watermark — pending records past a watermark are exactly what a
+    crash would discard.
+    """
+    wal = getattr(target, "wal", target)
+    if wal is None or not hasattr(wal, "summary"):
+        return "wal: (not configured)"
+    info = wal.summary()
+    state = "CRASHED" if info["crashed"] else "open"
+    lines = [
+        f"wal: {info['records']} records, group size {info['group_size']}, "
+        f"{info['shards']} stream(s), {state}",
+        f"  durable  {info['durable_records']:>7}",
+        f"  pending  {info['pending_records']:>7}",
+        f"  snapshot lsn {info['snapshot_lsn']:>5}",
+        f"{'stream':<8} {'records':>8} {'durable lsn':>12}",
+    ]
+    for stream in info["streams"]:
+        lines.append(
+            f"{stream['stream']:<8} {stream['records']:>8} "
+            f"{stream['durable_lsn']:>12}"
+        )
+    return "\n".join(lines)
+
+
 def leaf_histogram(tree: BPlusTree, buckets: int = 10) -> str:
     """Histogram of leaf occupancy, split by representation kind."""
     standard = [0] * buckets

@@ -1,0 +1,38 @@
+"""repro.wal — modeled write-ahead logging and crash recovery.
+
+The durable write pipeline behind the transactional write surface
+(:meth:`Database.begin_batch <repro.db.database.Database.begin_batch>`):
+a per-shard group-committed log (:mod:`repro.wal.log`) priced through
+the ``log_append`` / ``log_fsync`` cost categories, plus snapshot +
+log-replay recovery (:mod:`repro.wal.recovery`) with a kill-and-recover
+differential guarantee — replayed state equals the durably-committed
+prefix of the pre-crash state, byte for byte.
+"""
+
+from repro.wal.log import (
+    RECORD_HEADER_BYTES,
+    CrashError,
+    TableSnapshot,
+    WalConfig,
+    WalRecord,
+    WalShard,
+    WriteAheadLog,
+)
+from repro.wal.recovery import (
+    RecoveryReport,
+    recover_database,
+    state_digest,
+)
+
+__all__ = [
+    "CrashError",
+    "RECORD_HEADER_BYTES",
+    "RecoveryReport",
+    "TableSnapshot",
+    "WalConfig",
+    "WalRecord",
+    "WalShard",
+    "WriteAheadLog",
+    "recover_database",
+    "state_digest",
+]

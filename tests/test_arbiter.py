@@ -255,7 +255,7 @@ class TestDatabaseIntegration:
         db.enable_budget_arbiter(60_000, interval_ops=512)
         rows = db_rows(3000)
         for i in range(0, 3000, 300):  # ticks accumulate across batches
-            table.insert_many(rows[i:i + 300])
+            table.insert_batch(rows[i:i + 300])
         assert db.arbiter.stats.evaluations >= 5
         assert sum(db.arbiter.bounds().values()) == 60_000
         # Reads tick too.
@@ -272,7 +272,7 @@ class TestDatabaseIntegration:
         table.create_index("e", ("ts",), kind="elastic",
                            size_bound_bytes=50_000)
         db.enable_budget_arbiter(50_000)
-        table.insert_many(db_rows(500))
+        table.insert_batch(db_rows(500))
         assert db.rebalance_budget() in (True, False)
         assert db.arbiter.stats.evaluations >= 1
 

@@ -287,7 +287,7 @@ def test_deprecated_many_spellings_are_gone():
 # ----------------------------------------------------------------------
 # Database layer
 # ----------------------------------------------------------------------
-def test_db_insert_many_get_many_roundtrip():
+def test_db_insert_batch_get_batch_roundtrip():
     from repro.db.database import Database
     from repro.table.table import RowSchema
 
@@ -312,7 +312,7 @@ def test_db_insert_many_get_many_roundtrip():
     rng.shuffle(rows)
 
     db_batch, t_batch = make_db()
-    tids = t_batch.insert_many(rows)
+    tids = t_batch.insert_batch(rows)
     assert len(tids) == len(rows)
 
     db_scalar, t_scalar = make_db()

@@ -186,7 +186,7 @@ class TestDifferential:
                 size_bound_bytes=60_000, shards=2,
                 partitioner=partitioner, replicas=cfg,
             )
-            table.insert_many([(v, v & 0xFF) for v in values])
+            table.insert_batch([(v, v & 0xFF) for v in values])
             return table
 
         plain = build(False)
@@ -209,7 +209,7 @@ class TestDifferential:
             "by_k", ("k",), kind="elastic",
             replicas=ReplicaConfig(replicas=3, total_bound_bytes=90_000),
         )
-        table.insert_many([(v, 0) for v in load_values(200)])
+        table.insert_batch([(v, 0) for v in load_values(200)])
         table.insert((7, 7))
         replica_set = secondary.index
         assert isinstance(replica_set, ReplicaSet)
@@ -243,7 +243,7 @@ class TestRouting:
         )
         secondary = table.create_index("by_k", ("k",), kind="elastic",
                                        replicas=cfg)
-        table.insert_many([(v, v & 0xFF) for v in values or load_values()])
+        table.insert_batch([(v, v & 0xFF) for v in values or load_values()])
         return db, table, secondary.index
 
     def test_skewed_reads_classify_hot(self):
@@ -308,7 +308,7 @@ class TestFailover:
             probe_keys=4, faults=plan,
         )
         table.create_index("by_k", ("k",), kind="elastic", replicas=cfg)
-        table.insert_many([(v, v & 0xFF) for v in values])
+        table.insert_batch([(v, v & 0xFF) for v in values])
         results = []
         with db.cost.measure() as delta:
             for v in queries:
@@ -352,7 +352,7 @@ class TestFailover:
         secondary = table.create_index("by_k", ("k",), kind="elastic",
                                        replicas=cfg)
         values = load_values(300)
-        table.insert_many([(v, 0) for v in values])
+        table.insert_batch([(v, 0) for v in values])
         replica_set = secondary.index
         assert not replica_set.replicas[0].up
         rng = random.Random(2)
@@ -376,7 +376,7 @@ class TestFailover:
         )
         table.create_index("by_k", ("k",), kind="elastic", replicas=cfg)
         values = load_values(200)
-        table.insert_many([(v, 0) for v in values])
+        table.insert_batch([(v, 0) for v in values])
         with pytest.raises(RuntimeError):
             table.get("by_k", (values[0],))
 
@@ -402,7 +402,7 @@ class TestAdvisor:
         secondary = table.create_index("by_k", ("k",), kind="elastic",
                                        replicas=cfg)
         values = load_values(400)
-        table.insert_many([(v, v & 0xFF) for v in values])
+        table.insert_batch([(v, v & 0xFF) for v in values])
         return db, table, secondary.index, values
 
     def test_rebuild_is_billed_and_swaps_profile(self):
@@ -498,7 +498,7 @@ class TestClusterIntegration:
                 total_bound_bytes=120_000,
             ),
         )
-        table.insert_many([(v, 0) for v in load_values(200)])
+        table.insert_batch([(v, 0) for v in load_values(200)])
         text = cluster_summary(secondary.index)
         for label in ("lattice", "cache", "compact", "bound share"):
             assert label in text

@@ -2,9 +2,16 @@
 
 import random
 
+import pytest
+
 from repro.baselines.hot import HOTIndex
 from repro.btree.tree import BPlusTree
-from repro.concurrency.olc import OLCSimulator, OpRecord, record_ops
+from repro.concurrency.olc import (
+    MixedScalingResult,
+    OLCSimulator,
+    OpRecord,
+    record_ops,
+)
 from repro.keys.encoding import encode_u64
 from repro.memory.allocator import TrackingAllocator
 
@@ -109,3 +116,90 @@ class TestSimulation:
         results = OLCSimulator().sweep(records, [1, 2, 4])
         assert [r.threads for r in results] == [1, 2, 4]
         assert results[2].throughput > results[0].throughput
+
+
+def make_mixed_records(n=300, write_fraction=0.3, seed=3):
+    """Synthetic mixed recording: writers have non-empty write sets."""
+    rng = random.Random(seed)
+    records = []
+    for _ in range(n):
+        writer = rng.random() < write_fraction
+        records.append(OpRecord(
+            cost_units=2.0,
+            lines=4.0,
+            read_set=(rng.randrange(64),),
+            write_set=(rng.randrange(64),) if writer else (),
+        ))
+    return records
+
+
+class TestMixedSimulation:
+    def test_counts_partition_readers_and_writers(self):
+        records = make_mixed_records()
+        result = OLCSimulator().run_mixed(records, threads=4)
+        assert isinstance(result, MixedScalingResult)
+        assert result.reader_ops + result.writer_ops == result.ops
+        assert result.writer_ops == sum(
+            1 for r in records if r.write_set
+        )
+
+    def test_group_commit_amortizes_the_log(self):
+        records = make_mixed_records()
+        sim = OLCSimulator()
+        perop = sim.run_mixed(records, threads=8, group_size=1)
+        grouped = sim.run_mixed(records, threads=8, group_size=64)
+        # Same work, fewer barriers: strictly fewer group commits and a
+        # strictly shorter makespan (higher throughput).
+        assert perop.group_commits == perop.writer_ops
+        assert grouped.group_commits < perop.group_commits
+        assert grouped.makespan_units < perop.makespan_units
+        assert grouped.throughput > perop.throughput
+
+    def test_partial_trailing_group_still_flushes(self):
+        records = make_mixed_records(n=50, write_fraction=1.0)
+        result = OLCSimulator().run_mixed(
+            records, threads=2, group_size=64
+        )
+        # 50 writers never fill a 64-group; the final flush barrier is
+        # the only commit.
+        assert result.writer_ops == 50
+        assert result.group_commits == 1
+
+    def test_readers_never_touch_the_log(self):
+        records = make_mixed_records(n=100, write_fraction=0.0)
+        mixed = OLCSimulator().run_mixed(records, threads=4)
+        plain = OLCSimulator().run(records, 4)
+        assert mixed.group_commits == 0
+        assert mixed.log_wait_units == 0.0
+        assert mixed.makespan_units == plain.makespan_units
+
+    def test_log_serialization_shows_up_as_wait(self):
+        records = make_mixed_records(n=200, write_fraction=1.0)
+        result = OLCSimulator().run_mixed(
+            records, threads=16, group_size=1
+        )
+        # 16 writers fighting one log tail with per-op fsync: most of
+        # the makespan is queueing on the serial resource.
+        assert result.log_wait_units > 0
+
+    def test_defaults_track_cost_model_weights(self):
+        from repro.memory.cost_model import CostModel
+
+        weights = CostModel().weights
+        records = make_mixed_records(n=40, write_fraction=1.0)
+        sim = OLCSimulator(bandwidth_lines_per_unit=0)
+        default = sim.run_mixed(records, threads=1, group_size=1)
+        explicit = sim.run_mixed(
+            records, threads=1, group_size=1,
+            append_units=weights.log_append,
+            fsync_units=weights.log_fsync,
+        )
+        assert default.makespan_units == explicit.makespan_units
+
+    def test_validation(self):
+        records = make_mixed_records(n=10)
+        sim = OLCSimulator()
+        with pytest.raises(ValueError):
+            sim.run_mixed(records, threads=0)
+        with pytest.raises(ValueError):
+            sim.run_mixed(records, threads=1, group_size=0)

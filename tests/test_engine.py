@@ -100,14 +100,14 @@ def make_table(shards, partitioner="hash", kind="elastic", bound=None):
 @pytest.mark.parametrize("partitioner", ["hash", "range"])
 @pytest.mark.parametrize("shards", [1, 2, 8])
 class TestShardEquivalence:
-    """get_batch / insert_many / scan_batch byte-identical to unsharded."""
+    """get_batch / insert_batch / scan_batch byte-identical to unsharded."""
 
     def check(self, shards, partitioner, kind, bound, n_rows=4000):
         rows = make_rows(n_rows)
         _, reference = make_table(1, kind=kind, bound=bound)
         _, sharded = make_table(shards, partitioner, kind=kind, bound=bound)
-        ref_tids = reference.insert_many(rows)
-        got_tids = sharded.insert_many(rows)
+        ref_tids = reference.insert_batch(rows)
+        got_tids = sharded.insert_batch(rows)
         assert got_tids == ref_tids
 
         rng = random.Random(99)
@@ -165,8 +165,8 @@ class TestShardedIndexSurface:
         rows = make_rows(800)
         _, reference = make_table(1, kind="stx")
         _, sharded = make_table(4, "hash", kind="stx")
-        ref_tids = reference.insert_many(rows)
-        got_tids = sharded.insert_many(rows)
+        ref_tids = reference.insert_batch(rows)
+        got_tids = sharded.insert_batch(rows)
         for victim in (5, 99, 700):
             reference.delete(ref_tids[victim])
             sharded.delete(got_tids[victim])
@@ -179,7 +179,7 @@ class TestShardedIndexSurface:
 
     def test_len_and_bytes_aggregate(self):
         _, sharded = make_table(4, "hash", kind="stx")
-        sharded.insert_many(make_rows(500))
+        sharded.insert_batch(make_rows(500))
         index = sharded.indexes["by_key"].index
         assert isinstance(index, ShardedIndex)
         assert len(index) == 500
@@ -233,7 +233,7 @@ class TestShardRouteEvents:
             events = []
             unsubscribe = bus.subscribe(events.append)
             try:
-                sharded.insert_many(rows)
+                sharded.insert_batch(rows)
                 sharded.get_batch(
                     "by_key", [(r[0], r[1]) for r in rows[:50]]
                 )
@@ -259,7 +259,7 @@ class TestShardRouteEvents:
         events = []
         unsubscribe = obs.BUS.subscribe(events.append)
         try:
-            sharded.insert_many(make_rows(50))
+            sharded.insert_batch(make_rows(50))
         finally:
             unsubscribe()
         assert events == []

@@ -646,7 +646,7 @@ class TestDatabaseParallel:
         _, serial = self.make_pair(False)
         _, parallel = self.make_pair(True)
         rows = make_rows(1000)
-        assert serial.insert_many(rows) == parallel.insert_many(rows)
+        assert serial.insert_batch(rows) == parallel.insert_batch(rows)
         probes = [(r[0], r[1]) for r in rows[:200]] + [(0, 0)]
         assert serial.get_batch("by_key", probes) == \
             parallel.get_batch("by_key", probes)
@@ -730,7 +730,7 @@ def test_internal_callers_raise_no_deprecation_warnings():
         table = db.create_table(SCHEMA)
         table.create_index("by_key", ("ts", "obj"), kind="stx", shards=2)
         rows = make_rows(400)
-        table.insert_many(rows)
+        table.insert_batch(rows)
         probes = [(r[0], r[1]) for r in rows[:50]]
         table.get_batch("by_key", probes)
         table.scan_batch("by_key", probes[:8], count=4)

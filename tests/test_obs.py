@@ -420,7 +420,7 @@ class TestDatabaseObservability:
     def test_db_metrics_and_event_log(self, tmp_path):
         with obs.enabled():
             db, table = self.make_elastic_db()
-            table.insert_many([(i, i) for i in range(3000)])
+            table.insert_batch([(i, i) for i in range(3000)])
             for i in range(0, 3000, 3):
                 table.get("by_a", (i,))
         assert db.event_log("leaf_conversion")
@@ -434,7 +434,7 @@ class TestDatabaseObservability:
     def test_db_trace_op_spans(self):
         with obs.enabled():
             db, table = self.make_elastic_db()
-            table.insert_many([(i, i) for i in range(100)])
+            table.insert_batch([(i, i) for i in range(100)])
             table.get("by_a", (5,))
             table.scan("by_a", (0,), count=10)
         ops = [s.op for s in db.observer.tracer.snapshot()]
