@@ -49,8 +49,7 @@ def build(kind: str, rows):
                                size_bound_bytes=bound)
         else:
             table.create_index(name, columns)
-    for row in rows:
-        table.insert(row)
+    table.insert_batch(rows)
     return table
 
 

@@ -7,14 +7,17 @@ scatter/gather benchmark (``repro.bench.parallel``), the adaptive
 cache benchmark (``repro.bench.cache``), the prefetch-wave
 benchmark (``repro.bench.mlp``), the leaf-kind frontier benchmark
 (``repro.bench.learned``), the divergent-replica cluster benchmark
-(``repro.bench.cluster``), and the durable-write benchmark
-(``repro.bench.wal``) in small, deterministic smoke
+(``repro.bench.cluster``), the durable-write benchmark
+(``repro.bench.wal``), and the self-tuning advisor benchmark
+(``repro.bench.selftune``) in small, deterministic smoke
 configurations and compares their *weighted cost units* — which are
 exactly reproducible, unlike wall-clock — against the committed
 baselines ``BENCH_batch.json``, ``BENCH_shard.json``,
 ``BENCH_parallel.json``, ``BENCH_cache.json``, ``BENCH_mlp.json``,
-``BENCH_learned.json``, ``BENCH_cluster.json``, and ``BENCH_wal.json``
-(``--list`` enumerates all eight; a missing baseline fails loudly).
+``BENCH_learned.json``, ``BENCH_cluster.json``, ``BENCH_wal.json``,
+and ``BENCH_selftune.json`` (``--list`` enumerates all nine; a missing
+baseline fails loudly; ``--only <gate> ...`` restricts a run — and
+``--update`` — to a subset).
 The MLP gate asserts the wave-pricing contract: results byte-identical
 to serial pricing on every arm, wave-priced descents strictly cheaper
 than serial pricing at every W >= 2, W=1 reproducing today's batched
@@ -34,6 +37,14 @@ three identical replicas at equal total memory (acceptance floor),
 index, and a scripted mid-workload outage replaying deterministically
 with its failover visible as ``replica_failover`` events in the
 enabled replay.
+The selftune gate asserts the closed-loop dominance contract: over the
+five-scenario adversarial pack at equal total memory, the self-tuned
+arm returns identical query answers, costs no more than the *best*
+static arm on every scenario (graded post-hoc against the sweep's
+luckiest entry), is strictly cheaper on at least three, and actually
+fires at least one tuning action per scenario; the enabled replay must
+surface the decisions as ``tuning_probe``/``tuning_action`` events and
+``repro_tuning_*`` metrics without changing a single cost unit.
 The WAL gate asserts the durable-write contract: digests identical
 across the WAL-off, per-op-fsync, and group-commit arms, group commit
 cutting the durability overhead by at least 30% vs per-op fsync at
@@ -92,10 +103,13 @@ MLP_BASELINE_PATH = os.path.join(REPO, "BENCH_mlp.json")
 LEARNED_BASELINE_PATH = os.path.join(REPO, "BENCH_learned.json")
 CLUSTER_BASELINE_PATH = os.path.join(REPO, "BENCH_cluster.json")
 WAL_BASELINE_PATH = os.path.join(REPO, "BENCH_wal.json")
+SELFTUNE_BASELINE_PATH = os.path.join(REPO, "BENCH_selftune.json")
 
 #: Every committed baseline this script gates on.  ``--list`` prints
 #: these; a gate whose baseline is missing fails loudly rather than
-#: silently skipping.
+#: silently skipping.  ``--only <gate>`` restricts a run (and
+#: ``--update``) to a subset, so a new gate's baseline can be minted
+#: without regenerating the others.
 ALL_BASELINES = (
     ("batch", BASELINE_PATH),
     ("shard", SHARD_BASELINE_PATH),
@@ -105,6 +119,7 @@ ALL_BASELINES = (
     ("learned", LEARNED_BASELINE_PATH),
     ("cluster", CLUSTER_BASELINE_PATH),
     ("wal", WAL_BASELINE_PATH),
+    ("selftune", SELFTUNE_BASELINE_PATH),
 )
 TOLERANCE = 0.25
 SAVING_FLOOR = 0.30
@@ -212,6 +227,15 @@ WAL_SMOKE = dict(
     kill_after_applies=90,
     seed=43,
 )
+
+#: Self-tuning smoke: the five-scenario adversarial pack at scale 1,
+#: self-tuned arm vs the swept static grid (repro.bench.selftune).
+SELFTUNE_SMOKE = dict(scale=1)
+
+#: The self-tuned arm must be strictly cheaper than the *best* static
+#: arm on at least this many of the five scenarios (and never worse on
+#: any).
+SELFTUNE_STRICT_WINS_FLOOR = 3
 
 
 def run_smoke():
@@ -445,6 +469,151 @@ def check_wal_enabled_replay(base_metrics: dict) -> list:
             f"{events['wal_append']} wal_append, "
             f"{events['group_commit']} group_commit and "
             f"{events['recovery_replay']} recovery_replay events captured"
+        )
+    return failures
+
+
+def run_selftune_smoke():
+    """The self-tuning smoke over the five-scenario adversarial pack.
+
+    The advisor flips the global obs switch on for its own observation
+    plane (emission stays cost-model-silent), so the switch is restored
+    afterwards — the other gates' disabled base runs must stay disabled.
+    """
+    from repro import obs
+    from repro.bench import selftune
+
+    was_enabled = obs.is_enabled()
+    try:
+        result = selftune.run(**SELFTUNE_SMOKE)
+    finally:
+        obs.set_enabled(was_enabled)
+    meta = result.meta
+    metrics = {}
+    total_self = 0.0
+    total_best = 0.0
+    for name, verdict in sorted(meta["scenarios"].items()):
+        metrics[f"selftune.{name}.self_cost_units"] = (
+            verdict["self_cost_units"]
+        )
+        metrics[f"selftune.{name}.best_static_units"] = (
+            verdict["best_static_units"]
+        )
+        total_self += verdict["self_cost_units"]
+        total_best += verdict["best_static_units"]
+    metrics["selftune.self_cost_units"] = round(total_self, 2)
+    metrics["selftune.best_static_cost_units"] = round(total_best, 2)
+    return result, metrics, meta
+
+
+def check_selftune(metrics: dict, meta: dict, baseline: dict) -> list:
+    """Dominance contract + cost-regression checks for the advisor smoke.
+
+    Contract: (a) every arm of every scenario returns identical query
+    answers, (b) the self-tuned arm's total weighted cost is at or
+    below the *best* static arm on all five scenarios — graded post-hoc
+    against the sweep's luckiest entry — and strictly below on at least
+    the acceptance floor, (c) the advisor actually acted on every
+    scenario (a zero-action pass would be dominance by coincidence),
+    and (d) the usual regression tolerance plus exact-match
+    reproducibility against the committed baseline (all arms are
+    deterministic, so any drift at all means the economics changed).
+    """
+    failures = []
+    if not meta["results_identical"]:
+        failures.append(
+            "selftune: query answers diverged across arms — tuning must "
+            "change cost accounting, never answers"
+        )
+    losses = [
+        f"{name} ({v['self_cost_units']:.0f} vs "
+        f"{v['best_static_units']:.0f} {v['best_static_label']})"
+        for name, v in meta["scenarios"].items()
+        if not v["dominates"]
+    ]
+    if losses:
+        failures.append(
+            "selftune: self-tuned arm lost to the best static arm on "
+            + ", ".join(losses)
+        )
+    if meta["strict_wins"] < SELFTUNE_STRICT_WINS_FLOOR:
+        failures.append(
+            f"selftune: only {meta['strict_wins']} strict wins vs the "
+            f"best static arm, floor {SELFTUNE_STRICT_WINS_FLOOR}"
+        )
+    idle = [
+        name for name, v in meta["scenarios"].items()
+        if v["actions_applied"] == 0
+    ]
+    if idle:
+        failures.append(
+            "selftune: advisor fired no action on "
+            + ", ".join(sorted(idle))
+        )
+    for name, value in metrics.items():
+        base = baseline.get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline (run --update)")
+            continue
+        if value > base * (1 + TOLERANCE):
+            failures.append(
+                f"{name}: {value:.1f} cost units vs baseline {base:.1f} "
+                f"(+{(value / base - 1) * 100:.1f}%, tolerance "
+                f"{TOLERANCE * 100:.0f}%)"
+            )
+        elif round(value, 4) != base:
+            failures.append(
+                f"zero-overhead: {name} = {value!r} with observability "
+                f"disabled, baseline {base!r} (must match exactly)"
+            )
+    return failures
+
+
+def check_selftune_enabled_replay(base_metrics: dict) -> list:
+    """Replay the advisor smoke with an observer attached: identical
+    costs, and the probe/action/payback loop must be visible as
+    ``tuning_*`` events and ``repro_tuning_*`` metrics."""
+    from repro import obs
+
+    observer = None
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(True)
+    try:
+        observer = obs.Observer()
+        _, enabled_metrics, _ = run_selftune_smoke()
+    finally:
+        obs.set_enabled(was_enabled)
+        if observer is not None:
+            observer.close()
+
+    failures = []
+    for name, value in enabled_metrics.items():
+        if value != base_metrics.get(name):
+            failures.append(
+                f"enabled-replay: {name} = {value!r} with observability "
+                f"enabled vs {base_metrics.get(name)!r} disabled "
+                f"(instrumentation must not charge cost units)"
+            )
+    actions_metric = observer.registry.get("repro_tuning_actions_total")
+    if actions_metric is None or actions_metric.total() == 0:
+        failures.append(
+            "enabled-replay: no repro_tuning_actions_total metrics "
+            "recorded — emission is wired wrong"
+        )
+    probes = observer.event_log("tuning_probe")
+    if len(probes) == 0:
+        failures.append("enabled-replay: no tuning_probe events captured")
+    actions = observer.event_log("tuning_action")
+    if len(actions) == 0:
+        failures.append(
+            "enabled-replay: no tuning_action events captured — the "
+            "advisor's decisions were invisible"
+        )
+    if not failures:
+        print(
+            f"selftune enabled-replay: cost identical; "
+            f"{len(probes)} tuning_probe and {len(actions)} "
+            f"tuning_action events captured"
         )
     return failures
 
@@ -1170,12 +1339,61 @@ def smoke_wallclock() -> int:
     )
 
 
+def _run_batch_gate():
+    result, metrics = run_smoke()
+    return result, metrics, None
+
+
+def _check_batch(metrics, meta, baseline):
+    return check(metrics, baseline) + check_zero_overhead(metrics, baseline)
+
+
+def _replay_batch(metrics, meta):
+    check_enabled_replay.base_metrics = metrics
+    return check_enabled_replay()
+
+
+#: The gate registry, in the order the mechanisms landed.  Each entry:
+#: (baseline path, smoke config, run fn, check fn, enabled-replay fn).
+#: ``run`` returns (result, metrics, meta); ``check`` takes
+#: (metrics, meta, baseline); ``replay`` takes (metrics, meta).
+GATES = {
+    "batch": (BASELINE_PATH, SMOKE, _run_batch_gate,
+              _check_batch, _replay_batch),
+    "shard": (SHARD_BASELINE_PATH, SHARD_SMOKE,
+              run_shard_smoke, check_shard,
+              lambda m, meta: check_shard_enabled_replay(m)),
+    "parallel": (PARALLEL_BASELINE_PATH, PARALLEL_SMOKE,
+                 run_parallel_smoke, check_parallel,
+                 lambda m, meta: check_parallel_enabled_replay(m)),
+    "cache": (CACHE_BASELINE_PATH, CACHE_SMOKE,
+              run_cache_smoke, check_cache,
+              lambda m, meta: check_cache_enabled_replay(m)),
+    "mlp": (MLP_BASELINE_PATH, MLP_SMOKE,
+            run_mlp_smoke, check_mlp,
+            lambda m, meta: check_mlp_enabled_replay(m)),
+    "learned": (LEARNED_BASELINE_PATH, LEARNED_SMOKE,
+                run_learned_smoke, check_learned,
+                lambda m, meta: check_learned_enabled_replay(m)),
+    "cluster": (CLUSTER_BASELINE_PATH, CLUSTER_SMOKE,
+                run_cluster_smoke, check_cluster,
+                lambda m, meta: check_cluster_enabled_replay(m)),
+    "wal": (WAL_BASELINE_PATH, WAL_SMOKE,
+            run_wal_smoke, check_wal,
+            lambda m, meta: check_wal_enabled_replay(m)),
+    "selftune": (SELFTUNE_BASELINE_PATH, SELFTUNE_SMOKE,
+                 run_selftune_smoke, check_selftune,
+                 lambda m, meta: check_selftune_enabled_replay(m)),
+}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update",
         action="store_true",
-        help="rewrite BENCH_batch.json from the current run",
+        help="rewrite the BENCH baselines (restricted by --only) from "
+        "the current run",
     )
     parser.add_argument(
         "--skip-wallclock",
@@ -1187,6 +1405,16 @@ def main() -> int:
         action="store_true",
         help="enumerate every gated BENCH baseline and exit "
         "(exit 1 if any is missing)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="GATE",
+        default=None,
+        choices=sorted(GATES),
+        help="run only the named gates (default: all of "
+        f"{', '.join(GATES)}); with --update, only their baselines "
+        "are rewritten",
     )
     args = parser.parse_args()
 
@@ -1200,168 +1428,45 @@ def main() -> int:
         return 1 if missing else 0
 
     sys.path.insert(0, os.path.join(REPO, "src"))
-    result, metrics = run_smoke()
-    print(result.render())
-    print()
-    shard_result, shard_metrics, shard_meta = run_shard_smoke()
-    print(shard_result.render())
-    print()
-    parallel_result, parallel_metrics, parallel_meta = run_parallel_smoke()
-    print(parallel_result.render())
-    print()
-    cache_result, cache_metrics, cache_meta = run_cache_smoke()
-    print(cache_result.render())
-    print()
-    mlp_result, mlp_metrics, mlp_meta = run_mlp_smoke()
-    print(mlp_result.render())
-    print()
-    learned_result, learned_metrics, learned_meta = run_learned_smoke()
-    print(learned_result.render())
-    print()
-    cluster_result, cluster_metrics, cluster_meta = run_cluster_smoke()
-    print(cluster_result.render())
-    print()
-    wal_result, wal_metrics, wal_meta = run_wal_smoke()
-    print(wal_result.render())
-    print()
+    selected = [
+        name for name in GATES
+        if args.only is None or name in args.only
+    ]
+
+    runs = {}
+    for name in selected:
+        _, _, run_gate, _, _ = GATES[name]
+        result, metrics, meta = run_gate()
+        print(result.render())
+        print()
+        runs[name] = (metrics, meta)
 
     if args.update:
-        payload = {"config": {k: list(v) if isinstance(v, tuple) else v
-                              for k, v in SMOKE.items()},
-                   **{k: round(v, 4) for k, v in metrics.items()}}
-        with open(BASELINE_PATH, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {BASELINE_PATH}")
-        shard_payload = {"config": dict(SHARD_SMOKE),
-                         **{k: round(v, 4)
-                            for k, v in shard_metrics.items()}}
-        with open(SHARD_BASELINE_PATH, "w") as fh:
-            json.dump(shard_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {SHARD_BASELINE_PATH}")
-        parallel_payload = {
-            "config": {k: list(v) if isinstance(v, tuple) else v
-                       for k, v in PARALLEL_SMOKE.items()},
-            **{k: round(v, 4) for k, v in parallel_metrics.items()},
-        }
-        with open(PARALLEL_BASELINE_PATH, "w") as fh:
-            json.dump(parallel_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {PARALLEL_BASELINE_PATH}")
-        cache_payload = {"config": dict(CACHE_SMOKE),
-                         **{k: round(v, 4)
-                            for k, v in cache_metrics.items()}}
-        with open(CACHE_BASELINE_PATH, "w") as fh:
-            json.dump(cache_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {CACHE_BASELINE_PATH}")
-        mlp_payload = {
-            "config": {k: list(v) if isinstance(v, tuple) else v
-                       for k, v in MLP_SMOKE.items()},
-            **{k: round(v, 4) for k, v in mlp_metrics.items()},
-        }
-        with open(MLP_BASELINE_PATH, "w") as fh:
-            json.dump(mlp_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {MLP_BASELINE_PATH}")
-        learned_payload = {
-            "config": dict(LEARNED_SMOKE),
-            **{k: round(v, 4) for k, v in learned_metrics.items()},
-        }
-        with open(LEARNED_BASELINE_PATH, "w") as fh:
-            json.dump(learned_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {LEARNED_BASELINE_PATH}")
-        cluster_payload = {
-            "config": dict(CLUSTER_SMOKE),
-            **{k: round(v, 4) for k, v in cluster_metrics.items()},
-        }
-        with open(CLUSTER_BASELINE_PATH, "w") as fh:
-            json.dump(cluster_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {CLUSTER_BASELINE_PATH}")
-        wal_payload = {
-            "config": dict(WAL_SMOKE),
-            **{k: round(v, 4) for k, v in wal_metrics.items()},
-        }
-        with open(WAL_BASELINE_PATH, "w") as fh:
-            json.dump(wal_payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"baseline written to {WAL_BASELINE_PATH}")
+        for name in selected:
+            path, smoke_config, _, _, _ = GATES[name]
+            payload = {
+                "config": {k: list(v) if isinstance(v, tuple) else v
+                           for k, v in smoke_config.items()},
+                **{k: round(v, 4) for k, v in runs[name][0].items()},
+            }
+            with open(path, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"baseline written to {path}")
         return 0
 
-    if not os.path.exists(BASELINE_PATH):
-        print(f"no baseline at {BASELINE_PATH}; run with --update first")
-        return 1
-    with open(BASELINE_PATH) as fh:
-        baseline = json.load(fh)
-    failures = check(metrics, baseline)
-    failures.extend(check_zero_overhead(metrics, baseline))
-    check_enabled_replay.base_metrics = metrics
-    failures.extend(check_enabled_replay())
+    failures = []
+    for name in selected:
+        path, _, _, check_gate, replay_gate = GATES[name]
+        if not os.path.exists(path):
+            print(f"no baseline at {path}; run with --update first")
+            return 1
+        with open(path) as fh:
+            baseline = json.load(fh)
+        metrics, meta = runs[name]
+        failures.extend(check_gate(metrics, meta, baseline))
+        failures.extend(replay_gate(metrics, meta))
 
-    if not os.path.exists(SHARD_BASELINE_PATH):
-        print(f"no baseline at {SHARD_BASELINE_PATH}; run with --update")
-        return 1
-    with open(SHARD_BASELINE_PATH) as fh:
-        shard_baseline = json.load(fh)
-    failures.extend(check_shard(shard_metrics, shard_meta, shard_baseline))
-    failures.extend(check_shard_enabled_replay(shard_metrics))
-
-    if not os.path.exists(PARALLEL_BASELINE_PATH):
-        print(f"no baseline at {PARALLEL_BASELINE_PATH}; run with --update")
-        return 1
-    with open(PARALLEL_BASELINE_PATH) as fh:
-        parallel_baseline = json.load(fh)
-    failures.extend(
-        check_parallel(parallel_metrics, parallel_meta, parallel_baseline)
-    )
-    failures.extend(check_parallel_enabled_replay(parallel_metrics))
-
-    if not os.path.exists(CACHE_BASELINE_PATH):
-        print(f"no baseline at {CACHE_BASELINE_PATH}; run with --update")
-        return 1
-    with open(CACHE_BASELINE_PATH) as fh:
-        cache_baseline = json.load(fh)
-    failures.extend(check_cache(cache_metrics, cache_meta, cache_baseline))
-    failures.extend(check_cache_enabled_replay(cache_metrics))
-
-    if not os.path.exists(MLP_BASELINE_PATH):
-        print(f"no baseline at {MLP_BASELINE_PATH}; run with --update")
-        return 1
-    with open(MLP_BASELINE_PATH) as fh:
-        mlp_baseline = json.load(fh)
-    failures.extend(check_mlp(mlp_metrics, mlp_meta, mlp_baseline))
-    failures.extend(check_mlp_enabled_replay(mlp_metrics))
-
-    if not os.path.exists(LEARNED_BASELINE_PATH):
-        print(f"no baseline at {LEARNED_BASELINE_PATH}; run with --update")
-        return 1
-    with open(LEARNED_BASELINE_PATH) as fh:
-        learned_baseline = json.load(fh)
-    failures.extend(
-        check_learned(learned_metrics, learned_meta, learned_baseline)
-    )
-    failures.extend(check_learned_enabled_replay(learned_metrics))
-
-    if not os.path.exists(CLUSTER_BASELINE_PATH):
-        print(f"no baseline at {CLUSTER_BASELINE_PATH}; run with --update")
-        return 1
-    with open(CLUSTER_BASELINE_PATH) as fh:
-        cluster_baseline = json.load(fh)
-    failures.extend(
-        check_cluster(cluster_metrics, cluster_meta, cluster_baseline)
-    )
-    failures.extend(check_cluster_enabled_replay(cluster_metrics))
-
-    if not os.path.exists(WAL_BASELINE_PATH):
-        print(f"no baseline at {WAL_BASELINE_PATH}; run with --update")
-        return 1
-    with open(WAL_BASELINE_PATH) as fh:
-        wal_baseline = json.load(fh)
-    failures.extend(check_wal(wal_metrics, wal_meta, wal_baseline))
-    failures.extend(check_wal_enabled_replay(wal_metrics))
     for failure in failures:
         print(f"REGRESSION: {failure}")
     if not failures:

@@ -49,6 +49,11 @@ The facade groups the stable surface of the layered packages:
   caching (``create_index(..., cache=CacheConfig())``), plus the
   :class:`IndexCache` / :class:`CacheStats` / :class:`CacheReport`
   introspection surface;
+* **tuning** — the online self-tuning advisor
+  (``db.enable_self_tuning(TuningConfig(...))``): closed-loop what-if
+  tuning riding the budget arbiter's tick — :class:`TuningConfig`
+  configures the loop, :class:`SelfTuningAdvisor` is the advisor the
+  database exposes as ``db.advisor``;
 * **accounting** — :class:`CostModel`, :class:`TrackingAllocator`,
   :class:`MemoryBudget`, :class:`PressureState`;
 * **errors** — the typed :mod:`repro.errors` hierarchy (every class
@@ -114,6 +119,7 @@ from repro.errors import (
     ReproError,
     ShardConfigError,
     ShardConflictError,
+    TuningConfigError,
     WalError,
 )
 from repro.exec import BatchExecutor
@@ -128,6 +134,7 @@ from repro.registry import (
     register_index,
 )
 from repro.table.table import RowSchema, Table
+from repro.tuning import SelfTuningAdvisor, TuningConfig
 from repro.wal import (
     CrashError,
     RecoveryReport,
@@ -199,6 +206,9 @@ __all__ = [
     "CacheReport",
     "CacheStats",
     "IndexCache",
+    # tuning
+    "SelfTuningAdvisor",
+    "TuningConfig",
     # accounting
     "CostModel",
     "MemoryBudget",
@@ -220,6 +230,7 @@ __all__ = [
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",
+    "TuningConfigError",
     "WalError",
     # observability
     "obs",

@@ -22,7 +22,7 @@ import time
 
 from repro.bench import ablation, fig1, fig5, fig6, fig7, fig8, fig9, fig10, fig11
 from repro.bench import cache, cluster, latency, learned, mlp, parallel
-from repro.bench import sec61, sec64, shard, wal
+from repro.bench import sec61, sec64, selftune, shard, wal
 
 
 def _experiments(full: bool, events_dir=None):
@@ -86,6 +86,7 @@ def _experiments(full: bool, events_dir=None):
             n_rows=4_000 * scale,
             capture_events=events_dir is not None,
         ),
+        "selftune": lambda: selftune.run(scale=scale),
     }
 
 

@@ -36,6 +36,8 @@ _TRAJECTORY = (
      "cluster.uniform_cost_units", "cluster.divergent_cost_units"),
     ("BENCH_wal.json", "group-committed WAL",
      "wal.perop_cost_units", "wal.group_cost_units"),
+    ("BENCH_selftune.json", "online self-tuning advisor",
+     "selftune.best_static_cost_units", "selftune.self_cost_units"),
 )
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro import obs
 from repro.blindi.leaf import CompactLeaf
@@ -534,3 +534,63 @@ class ElasticityController:
         """Convert every standard leaf to a compact leaf at once
         (backwards-compatible name for ``bulk_convert("compact")``)."""
         return self.bulk_convert("compact")
+
+    # ------------------------------------------------------------------
+    # Lattice retargeting (self-tuning advisor's swap_preset family)
+    # ------------------------------------------------------------------
+    def retarget_lattice(self, overrides: Dict[str, object]) -> int:
+        """Re-point the conversion lattice in place; migrate strays.
+
+        Applies ``overrides`` (ElasticConfig attributes — typically
+        ``leaf_kinds``, the preset lattices of
+        :data:`~repro.tuning.config.PRESET_LATTICES`) onto the live
+        config, then converts every already-converted leaf whose kind
+        the new lattice no longer allows to the new cold kind, leaf by
+        leaf.  Standard leaves and the tree structure are untouched —
+        unlike a drain-and-rebuild, only the leaves that must change
+        representation pay conversion (and, for learned targets,
+        training) cost.  Returns the number of leaves migrated.
+        """
+        tree = self.tree
+        assert tree is not None
+        for name, value in overrides.items():
+            setattr(
+                self.config, name,
+                tuple(value) if name == "leaf_kinds" else value,
+            )
+        allowed = set(self.config.leaf_kinds)
+        target = self._cold_kind()
+        converted = 0
+        if target is None:
+            return converted
+        for path, node in list(tree.iter_leaves_with_paths()):
+            if node.kind in allowed or node.count == 0:
+                continue
+            old_kind = node.kind
+            keys, tids = node.keys_and_tids()
+            capacity = min(
+                self.config.max_compact_capacity,
+                max(
+                    2 * tree.leaf_capacity,
+                    1 << max(0, node.count - 1).bit_length(),
+                ),
+            )
+            with tree.cost.measure() as delta, \
+                    tree.cost.attributed_to("elastic.convert"):
+                new_leaf = self._build_kind(
+                    target, list(zip(keys, tids)), capacity
+                )
+                tree.replace_leaf(path, node, new_leaf)
+            converted += 1
+            self.stats.conversion_cost_units += delta.weighted_cost()
+            if obs.is_enabled():
+                obs.emit(LeafConversionEvent(
+                    direction=f"to_{target}", trigger="retarget",
+                    node_id=new_leaf.node_id, capacity=new_leaf.capacity,
+                    count=new_leaf.count, index_bytes=tree.index_bytes,
+                    cost_units=delta.weighted_cost(),
+                    from_kind=old_kind,
+                ))
+        self._count_conversion(target, converted)
+        self.observe()
+        return converted

@@ -20,6 +20,7 @@ from repro.errors import (
     IndexExistsError,
     InvalidBudgetError,
     ShardConfigError,
+    TuningConfigError,
     WalError,
 )
 from repro.exec import BatchExecutor
@@ -90,6 +91,12 @@ class SecondaryIndex:
         self.index = index
         self.view = view
         self._executor: Optional[BatchExecutor] = None
+        #: Parked by the self-tuning advisor: writes skip the index and
+        #: the first read rebuilds it (see :mod:`repro.tuning`).
+        self.parked = False
+        #: Creation-time build recipe the advisor rebuilds from (kind,
+        #: bound, shards, partitioner, cache config, index kwargs).
+        self.build_info: Dict = {}
 
     @property
     def executor(self) -> BatchExecutor:
@@ -278,6 +285,11 @@ class DBTable:
             )
         secondary.index = index
         secondary.view = view
+        secondary.build_info = dict(
+            kind=kind, size_bound_bytes=size_bound_bytes, shards=shards,
+            partitioner=partitioner, cache=cache,
+            index_kwargs=dict(index_kwargs),
+        )
         self.indexes[name] = secondary
         self.db._register_with_arbiter(self.schema.name, name, index)
         self.db._ddl.append((
@@ -337,8 +349,19 @@ class DBTable:
     # the pre-batch write path.
     def _apply_insert(self, row: Tuple) -> int:
         tid = self.table.insert_row(row)
+        advisor = self.db.advisor
         for secondary in self.indexes.values():
-            secondary.index.insert(secondary.key_of_row(row), tid)
+            if secondary.parked:
+                advisor.observe_parked_write(
+                    self.schema.name, secondary.name, 1
+                )
+                continue
+            key = secondary.key_of_row(row)
+            secondary.index.insert(key, tid)
+            if advisor is not None:
+                advisor.observe_writes(
+                    self.schema.name, secondary.name, (key,)
+                )
         return tid
 
     def _apply_insert_rows(self, rows: Sequence[Tuple]) -> List[int]:
@@ -348,16 +371,39 @@ class DBTable:
             tid = self.table.insert_row(row)
             stored.append((row, tid))
             tids.append(tid)
+        advisor = self.db.advisor
         for secondary in self.indexes.values():
-            secondary.executor.insert_batch(
-                [(secondary.key_of_row(row), tid) for row, tid in stored]
-            )
+            if secondary.parked:
+                advisor.observe_parked_write(
+                    self.schema.name, secondary.name, len(stored)
+                )
+                continue
+            pairs = [
+                (secondary.key_of_row(row), tid) for row, tid in stored
+            ]
+            secondary.executor.insert_batch(pairs)
+            if advisor is not None:
+                advisor.observe_writes(
+                    self.schema.name, secondary.name,
+                    [key for key, _ in pairs],
+                )
         return tids
 
     def _apply_delete(self, tid: int) -> Tuple[int, ...]:
         row = self.table.row(tid)
+        advisor = self.db.advisor
         for secondary in self.indexes.values():
-            secondary.index.remove(secondary.key_of_row(row))
+            if secondary.parked:
+                advisor.observe_parked_write(
+                    self.schema.name, secondary.name, 1
+                )
+                continue
+            key = secondary.key_of_row(row)
+            secondary.index.remove(key)
+            if advisor is not None:
+                advisor.observe_deletes(
+                    self.schema.name, secondary.name, (key,)
+                )
         self.table.delete_row(tid)
         return row
 
@@ -374,9 +420,15 @@ class DBTable:
     def get(self, index_name: str, values: Sequence[int]) -> Optional[Tuple]:
         """Point query through an index; returns the row or None."""
         secondary = self.indexes[index_name]
+        if secondary.parked:
+            self.db.advisor.unpark(self, secondary)
         with self.db.trace_op(f"db.get[{index_name}]"):
-            tid = secondary.index.lookup(secondary.key_of_values(values))
+            key = secondary.key_of_values(values)
+            tid = secondary.index.lookup(key)
             row = self.table.row(tid) if tid is not None else None
+        advisor = self.db.advisor
+        if advisor is not None:
+            advisor.observe_point(self.schema.name, secondary.name, key)
         self.db._tick(1)
         return row
 
@@ -386,6 +438,8 @@ class DBTable:
         """Batched point queries through one index; row or ``None`` per
         entry, aligned with the input order."""
         secondary = self.indexes[index_name]
+        if secondary.parked:
+            self.db.advisor.unpark(self, secondary)
         with self.db.trace_op(f"db.get_batch[{index_name}]"):
             keys = [secondary.key_of_values(v) for v in values_batch]
             tids = secondary.executor.get_batch(keys)
@@ -393,6 +447,9 @@ class DBTable:
                 self.table.row(tid) if tid is not None else None
                 for tid in tids
             ]
+        advisor = self.db.advisor
+        if advisor is not None:
+            advisor.observe_batch(self.schema.name, secondary.name, keys)
         self.db._tick(len(keys))
         return rows
 
@@ -413,6 +470,8 @@ class DBTable:
         """
         count = self._scan_count(legacy_count, count)
         secondary = self.indexes[index_name]
+        if secondary.parked:
+            self.db.advisor.unpark(self, secondary)
         with self.db.trace_op(f"db.scan[{index_name}]"):
             start = secondary.key_of_values(start_values)
             items = secondary.index.scan(start, count)
@@ -420,6 +479,11 @@ class DBTable:
                 out = [self.table.row(tid) for _, tid in items]
             else:
                 out = [key for key, _ in items]
+        advisor = self.db.advisor
+        if advisor is not None:
+            advisor.observe_scan(
+                self.schema.name, secondary.name, start, count
+            )
         self.db._tick(1)
         return out
 
@@ -438,6 +502,8 @@ class DBTable:
         """
         count = self._scan_count(legacy_count, count)
         secondary = self.indexes[index_name]
+        if secondary.parked:
+            self.db.advisor.unpark(self, secondary)
         with self.db.trace_op(f"db.scan_batch[{index_name}]"):
             starts = [secondary.key_of_values(v) for v in start_values_batch]
             batches = secondary.executor.scan_batch(starts, count)
@@ -448,6 +514,11 @@ class DBTable:
                 ]
             else:
                 out = [[key for key, _ in items] for items in batches]
+        advisor = self.db.advisor
+        if advisor is not None:
+            advisor.observe_scan_batch(
+                self.schema.name, secondary.name, starts, count
+            )
         self.db._tick(len(starts))
         return out
 
@@ -521,11 +592,16 @@ class Database:
         self.tables: Dict[str, DBTable] = {}
         self.observer = Observer()
         self.arbiter: Optional[BudgetArbiter] = None
+        #: The self-tuning advisor, set by :meth:`enable_self_tuning`
+        #: (None = every tuning hook in the hot paths is a single
+        #: attribute check, and feature-off runs stay byte-identical).
+        self.advisor = None
         self.wal: Optional[WriteAheadLog] = (
             WriteAheadLog(wal, self.cost) if wal is not None else None
         )
         #: Recorded schema history (create_table / create_index /
-        #: enable_budget_arbiter), replayed verbatim by crash recovery.
+        #: enable_budget_arbiter / enable_self_tuning), replayed
+        #: verbatim by crash recovery.
         self._ddl: List[tuple] = []
 
     def create_table(self, schema: RowSchema) -> DBTable:
@@ -603,6 +679,37 @@ class Database:
                     table_name, index_name, secondary.index
                 )
         return self.arbiter
+
+    def enable_self_tuning(self, config=None):
+        """Close the tuning loop: create the self-tuning advisor.
+
+        The advisor (:class:`~repro.tuning.SelfTuningAdvisor`) rides the
+        budget arbiter's tick — it registers an interval hook on the
+        arbiter rather than counting operations itself, so advisor
+        actions and cache adaptation share one op-boundary clock and
+        enabling self-tuning never advances the arbiter's ``_ops_since``
+        twice per database operation.  Requires
+        :meth:`enable_budget_arbiter` first
+        (:class:`~repro.errors.TuningConfigError` otherwise; likewise
+        when self-tuning is already enabled).  ``config`` defaults to
+        ``TuningConfig()``.
+        """
+        from repro.tuning import SelfTuningAdvisor, TuningConfig
+
+        if self.advisor is not None:
+            raise TuningConfigError("self-tuning already enabled")
+        if self.arbiter is None:
+            raise TuningConfigError(
+                "self-tuning rides the budget arbiter's op clock; call "
+                "enable_budget_arbiter first"
+            )
+        if config is None:
+            config = TuningConfig()
+        config.validate()
+        self.advisor = SelfTuningAdvisor(self, config)
+        self.arbiter.add_interval_hook(self.advisor.on_interval)
+        self._ddl.append(("enable_self_tuning", config))
+        return self.advisor
 
     def rebalance_budget(self, reason: str = "manual") -> bool:
         """Run one arbitration round now; True if budget moved."""

@@ -124,6 +124,11 @@ class BudgetArbiter:
         self._controllers: List = []
         self._caches: Dict[str, object] = {}
         self._ops_since = 0
+        #: Callables invoked after each interval-driven evaluation, on
+        #: the same op-boundary clock — the self-tuning advisor rides
+        #: here so advisor actions and cache adaptation share one tick
+        #: (no second ``_ops_since`` accumulator anywhere).
+        self._interval_hooks: List = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -157,6 +162,38 @@ class BudgetArbiter:
             raise ShardConfigError(f"shard {name!r} already has a cache")
         self._caches[name] = cache
 
+    def unregister(self, name: str) -> None:
+        """Withdraw a controller (and its cache, if any) from arbitration.
+
+        Used when an index is rebuilt in place (self-tuning preset
+        swaps, reshards): the fresh structure's controller re-enrolls
+        under the same name.  Unknown names raise — silently dropping a
+        typo would leak the stale controller.
+        """
+        if name not in self._names:
+            raise ShardConfigError(f"shard {name!r} is not registered")
+        position = self._names.index(name)
+        del self._names[position]
+        del self._controllers[position]
+        self._caches.pop(name, None)
+
+    def unregister_cache(self, name: str) -> None:
+        """Withdraw just the cache registered under ``name`` (rebuilds
+        that keep the controller but replace the cache object)."""
+        if name not in self._caches:
+            raise ShardConfigError(f"shard {name!r} has no registered cache")
+        del self._caches[name]
+
+    def add_interval_hook(self, hook) -> None:
+        """Run ``hook()`` after every interval-driven evaluation.
+
+        Hooks fire at the same operation boundary that triggered the
+        rebalance — one shared clock for budget arbitration, cache
+        adaptation, and any advisor riding the arbiter, so enabling a
+        hook never advances ``_ops_since`` twice per database tick.
+        """
+        self._interval_hooks.append(hook)
+
     @property
     def shard_names(self) -> List[str]:
         return list(self._names)
@@ -182,6 +219,8 @@ class BudgetArbiter:
             return False
         self._ops_since = 0
         self.rebalance(reason="interval")
+        for hook in self._interval_hooks:
+            hook()
         return True
 
     # ------------------------------------------------------------------

@@ -53,6 +53,11 @@ The concrete classes map to the layers that raise them:
   database that has no write-ahead log, or replaying a log whose
   records reference tables the DDL history never created
   (``repro.wal.recovery``).
+* :class:`TuningConfigError` — a self-tuning configuration that can
+  never act: non-positive sample windows or payback horizons, empty
+  cache ladders, negative fees, enabling the advisor twice, or
+  enabling it on a database with no budget arbiter to ride
+  (``repro.tuning``, ``repro.db``).
 
 Deliberately *outside* this hierarchy: :class:`repro.wal.CrashError`,
 the simulated kill raised at a :meth:`FaultPlan.kill <repro.engine.
@@ -108,6 +113,10 @@ class RecoveryError(ReproError):
     """Crash recovery cannot proceed from the given database state."""
 
 
+class TuningConfigError(ReproError):
+    """A self-tuning advisor configuration is invalid or cannot act."""
+
+
 __all__ = [
     "CacheConfigError",
     "ExecutorSaturatedError",
@@ -119,5 +128,6 @@ __all__ = [
     "ReproError",
     "ShardConfigError",
     "ShardConflictError",
+    "TuningConfigError",
     "WalError",
 ]

@@ -61,6 +61,9 @@ from repro.obs.events import (
     ShardPressureEvent,
     ShardRetryEvent,
     ShardRouteEvent,
+    TuningActionEvent,
+    TuningPaybackEvent,
+    TuningProbeEvent,
     WalAppendEvent,
 )
 from repro.obs.exporters import (
@@ -117,6 +120,9 @@ __all__ = [
     "ShardRouteEvent",
     "Span",
     "Tracer",
+    "TuningActionEvent",
+    "TuningPaybackEvent",
+    "TuningProbeEvent",
     "WalAppendEvent",
     "emit",
     "enabled",

@@ -532,6 +532,73 @@ class RecoveryReplayEvent(Event):
     cost_units: float = 0.0
 
 
+@dataclass
+class TuningProbeEvent(Event):
+    """The self-tuning advisor what-if-priced one candidate action.
+
+    Emitted per candidate scored at an arbiter tick boundary: the
+    candidate was priced by replaying a sampled recent op window
+    against the deterministic cost model under ``measure()``, the whole
+    probe rebated, and a fixed advisor fee billed (see
+    docs/COSTMODEL.md) — ``cost_units`` is the rebated what-if score
+    (modeled per-op units under the candidate), ``incumbent_units`` the
+    same figure for the incumbent configuration, ``sample_ops`` the
+    replayed window size.  ``action`` names the candidate family
+    (``"park_index"``, ``"swap_preset"``, ``"move_cache"``,
+    ``"reshard"``); ``target`` is ``table.index``.
+    """
+
+    kind: ClassVar[str] = "tuning_probe"
+    action: str = ""
+    target: str = ""
+    candidate: str = ""
+    cost_units: float = 0.0
+    incumbent_units: float = 0.0
+    sample_ops: int = 0
+
+
+@dataclass
+class TuningActionEvent(Event):
+    """The self-tuning advisor applied one tuning action.
+
+    ``action`` is ``"park_index"`` / ``"unpark_index"`` /
+    ``"swap_preset"`` / ``"move_cache"`` / ``"reshard"``; ``target`` is
+    ``table.index``.  ``cost_units`` is the *measured* application cost
+    (billed like a bulk conversion, never rebated): the drain + rebuild
+    for preset swaps and reshards, the backfill for unparks, 0.0 for
+    flag flips and budget moves.  ``detail`` carries the
+    family-specific parameter (preset name, new cache budget, new shard
+    count).
+    """
+
+    kind: ClassVar[str] = "tuning_action"
+    action: str = ""
+    target: str = ""
+    detail: str = ""
+    items: int = 0
+    cost_units: float = 0.0
+
+
+@dataclass
+class TuningPaybackEvent(Event):
+    """The advisor's payback ledger for one fired action.
+
+    Records the modeled economics that justified the action at fire
+    time: ``modeled_saving_units`` is the projected saving over the
+    configured payback window (per-op saving from the what-if probe
+    times the window), ``apply_cost_units`` the billed (or estimated,
+    for deferred rebuilds) application cost it had to beat.  Replaying
+    the event stream reconstructs every decision the advisor made.
+    """
+
+    kind: ClassVar[str] = "tuning_payback"
+    action: str = ""
+    target: str = ""
+    modeled_saving_units: float = 0.0
+    apply_cost_units: float = 0.0
+    payback_window_ops: int = 0
+
+
 class EventBus:
     """A tiny synchronous publish/subscribe hub.
 

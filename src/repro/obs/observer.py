@@ -45,6 +45,9 @@ from repro.obs.events import (
     ShardPressureEvent,
     ShardRetryEvent,
     ShardRouteEvent,
+    TuningActionEvent,
+    TuningPaybackEvent,
+    TuningProbeEvent,
     WalAppendEvent,
 )
 from repro.obs.exporters import write_event_log
@@ -257,6 +260,22 @@ class Observer:
             "repro_recovery_cost_units",
             "Weighted cost-model units per recovery replay.",
         )
+        self._tuning_probes = reg.counter(
+            "repro_tuning_probes_total",
+            "Self-tuning what-if candidate probes by action family.",
+        )
+        self._tuning_actions = reg.counter(
+            "repro_tuning_actions_total",
+            "Self-tuning actions applied, by action and target.",
+        )
+        self._tuning_action_cost = reg.histogram(
+            "repro_tuning_action_cost_units",
+            "Measured application cost per fired tuning action.",
+        )
+        self._tuning_payback = reg.histogram(
+            "repro_tuning_payback_units",
+            "Modeled payback (saving over the window) per fired action.",
+        )
         #: Running (hits, lookups) tallies per cache name feeding the
         #: hit-rate gauge; lookups = row-tier probes (hit + miss).
         self._cache_tallies: dict = {}
@@ -380,6 +399,17 @@ class Observer:
             )
             self._wal_durable_lsn.set(
                 event.durable_lsn, stream=str(event.stream)
+            )
+        elif isinstance(event, TuningProbeEvent):
+            self._tuning_probes.inc(action=event.action)
+        elif isinstance(event, TuningActionEvent):
+            self._tuning_actions.inc(action=event.action, target=event.target)
+            self._tuning_action_cost.observe(
+                event.cost_units, action=event.action
+            )
+        elif isinstance(event, TuningPaybackEvent):
+            self._tuning_payback.observe(
+                event.modeled_saving_units, action=event.action
             )
         elif isinstance(event, RecoveryReplayEvent):
             self._recovery_replayed.inc(event.records_replayed)

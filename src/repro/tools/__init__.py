@@ -7,6 +7,7 @@ from repro.tools.inspect import (
     format_size,
     leaf_histogram,
     mlp_summary,
+    tuning_summary,
     wal_summary,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "format_size",
     "leaf_histogram",
     "mlp_summary",
+    "tuning_summary",
     "wal_summary",
 ]

@@ -219,6 +219,43 @@ def wal_summary(target) -> str:
     return "\n".join(lines)
 
 
+def tuning_summary(target) -> str:
+    """Self-tuning advisor state table: ticks, probes, fired actions.
+
+    Accepts a :class:`~repro.db.database.Database` with
+    ``enable_self_tuning(...)`` active, or a
+    :class:`~repro.tuning.SelfTuningAdvisor` directly.  One header block
+    for the loop as a whole (ticks ridden on the arbiter clock,
+    candidates what-if-priced, billed probe fees), then one row per
+    action family that has fired, plus the currently parked indexes and
+    the writes they have skipped.
+    """
+    advisor = getattr(target, "advisor", target)
+    if advisor is None or not hasattr(advisor, "stats"):
+        return "tuning: (not enabled)"
+    stats = advisor.stats
+    lines = [
+        f"tuning: {stats.ticks} ticks, {stats.candidates_scored} candidates "
+        f"scored, {stats.probe_fee_units:.1f} fee units billed",
+        f"  actions applied     {stats.actions_applied:>7}",
+        f"  apply cost units    {stats.apply_cost_units:>10.2f}",
+        f"  modeled saving      {stats.modeled_saving_units:>10.2f}",
+        f"  churn events seen   {stats.churn_events:>7}",
+        f"  parked writes skip  {stats.parked_writes_skipped:>7}",
+    ]
+    if stats.actions_by_family:
+        lines.append(f"{'action':<14} {'fired':>6}")
+        for family in sorted(stats.actions_by_family):
+            lines.append(
+                f"{family:<14} {stats.actions_by_family[family]:>6}"
+            )
+    parked = advisor.parked_indexes()
+    lines.append(
+        "parked: " + (", ".join(parked) if parked else "(none)")
+    )
+    return "\n".join(lines)
+
+
 def leaf_histogram(tree: BPlusTree, buckets: int = 10) -> str:
     """Histogram of leaf occupancy, split by representation kind."""
     standard = [0] * buckets

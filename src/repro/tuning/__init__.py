@@ -1,0 +1,24 @@
+"""repro.tuning — the online self-tuning advisor.
+
+Closed-loop tuning riding the budget arbiter's op clock: per-index
+query-class windows (:mod:`repro.tuning.stats`) feed an advisor
+(:mod:`repro.tuning.advisor`) that what-if-prices candidate actions —
+park/unpark a secondary index, swap a leaf-kind lattice preset, move
+cache budget, reshard — against the deterministic cost model, firing
+one action per tick when modeled payback beats the billed application
+cost.  Enable through :meth:`Database.enable_self_tuning
+<repro.db.database.Database.enable_self_tuning>`.
+"""
+
+from repro.tuning.advisor import SelfTuningAdvisor, TuningStats
+from repro.tuning.config import PRESET_LATTICES, TuningConfig
+from repro.tuning.stats import StatsCollector, WindowStats
+
+__all__ = [
+    "PRESET_LATTICES",
+    "SelfTuningAdvisor",
+    "StatsCollector",
+    "TuningConfig",
+    "TuningStats",
+    "WindowStats",
+]

@@ -1,0 +1,147 @@
+"""Configuration of the online self-tuning advisor.
+
+A :class:`TuningConfig` describes *how* the advisor observes and acts —
+window sizes, fees, hysteresis, payback horizon, which action families
+are armed — never *what* the right configuration is: the advisor
+derives that online from the observed op stream and the deterministic
+cost model.  Validation raises the typed
+:class:`~repro.errors.TuningConfigError` so impossible configurations
+(zero-op windows, empty candidate ladders, negative fees) fail at
+:meth:`Database.enable_self_tuning
+<repro.db.database.Database.enable_self_tuning>` time, not mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import TuningConfigError
+
+#: Leaf-kind lattice presets the ``swap_preset`` family may rebuild an
+#: elastic index under.  Each entry is a set of
+#: :class:`~repro.core.config.ElasticConfig` keyword overrides; the
+#: paper's two-kind lattice is the neutral starting point; ``learned``
+#: makes learned leaves the *only* shrink target — the committed
+#: three-point frontier (DESIGN.md §11) shows learned leaves beating
+#: compact ones on batched sorted probes but paying retrains under
+#: insert churn, which is exactly the trade the advisor's what-if
+#: replay prices; ``churn`` pins the two-kind lattice with eager
+#: reversion thresholds for write-heavy phases.
+PRESET_LATTICES: Dict[str, Dict[str, object]] = {
+    "paper": {"leaf_kinds": ("standard", "compact")},
+    "learned": {"leaf_kinds": ("standard", "learned")},
+    "churn": {
+        "leaf_kinds": ("standard", "compact"),
+        "expand_trigger_fraction": 0.6,
+    },
+}
+
+
+@dataclass
+class TuningConfig:
+    """Parameters of the closed-loop self-tuning advisor.
+
+    Attributes:
+        sample_size: Keys retained per query class per stats window —
+            the "sampled recent op window" every what-if candidate is
+            priced against.
+        advisor_fee_units: Fixed cost units billed per candidate scored
+            (the probes themselves are measured and rebated; only this
+            fee stays on the ledger — the cluster router's honesty
+            discipline).
+        hysteresis_ticks: Minimum arbiter intervals between applied
+            actions on the same target index (anti-thrash).
+        payback_window_ops: Horizon, in database operations, over which
+            a candidate's modeled per-op saving must beat its billed
+            application cost before the action fires.
+        idle_windows_to_park: Consecutive stats windows with writes but
+            zero reads before an index becomes a park candidate.
+        min_window_ops: Windows observing fewer operations than this do
+            not drive decisions (starved-signal guard).
+        improvement_fraction: Minimum relative what-if improvement a
+            candidate must show over the incumbent.
+        history_windows: Stats windows retained per index.
+        cache_fractions: Candidate cache budgets for the ``move_cache``
+            family, as fractions of the index's current soft bound.
+        presets: Name -> ElasticConfig-override candidates for the
+            ``swap_preset`` family.
+        max_shards: Ceiling for the ``reshard`` family's doubling.
+        enable_index_park / enable_preset_swap / enable_cache_tuning /
+            enable_reshard: Arm or disarm each action family.
+    """
+
+    sample_size: int = 128
+    advisor_fee_units: float = 1.0
+    hysteresis_ticks: int = 2
+    payback_window_ops: int = 4096
+    idle_windows_to_park: int = 2
+    min_window_ops: int = 16
+    improvement_fraction: float = 0.05
+    history_windows: int = 8
+    cache_fractions: Tuple[float, ...] = (0.05, 0.2, 0.4)
+    presets: Dict[str, Dict[str, object]] = field(
+        default_factory=lambda: {
+            name: dict(kwargs) for name, kwargs in PRESET_LATTICES.items()
+        }
+    )
+    max_shards: int = 8
+    enable_index_park: bool = True
+    enable_preset_swap: bool = True
+    enable_cache_tuning: bool = True
+    enable_reshard: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.TuningConfigError` on a
+        configuration that can never act."""
+        if self.sample_size < 8:
+            raise TuningConfigError(
+                f"sample_size must be >= 8 (got {self.sample_size}); "
+                "smaller windows cannot price a candidate"
+            )
+        if self.advisor_fee_units < 0:
+            raise TuningConfigError("advisor_fee_units must be >= 0")
+        if self.hysteresis_ticks < 0:
+            raise TuningConfigError("hysteresis_ticks must be >= 0")
+        if self.payback_window_ops < 1:
+            raise TuningConfigError("payback_window_ops must be positive")
+        if self.idle_windows_to_park < 1:
+            raise TuningConfigError("idle_windows_to_park must be >= 1")
+        if self.min_window_ops < 1:
+            raise TuningConfigError("min_window_ops must be positive")
+        if not 0 <= self.improvement_fraction < 1:
+            raise TuningConfigError(
+                "improvement_fraction must be in [0, 1)"
+            )
+        if self.history_windows < self.idle_windows_to_park:
+            raise TuningConfigError(
+                "history_windows must cover idle_windows_to_park "
+                f"({self.history_windows} < {self.idle_windows_to_park})"
+            )
+        if self.enable_cache_tuning:
+            if not self.cache_fractions:
+                raise TuningConfigError(
+                    "enable_cache_tuning needs a non-empty cache_fractions "
+                    "ladder"
+                )
+            for fraction in self.cache_fractions:
+                if not 0 <= fraction <= 1:
+                    raise TuningConfigError(
+                        f"cache fraction {fraction} outside [0, 1]"
+                    )
+        if self.enable_preset_swap and not self.presets:
+            raise TuningConfigError(
+                "enable_preset_swap needs at least one preset candidate"
+            )
+        if self.max_shards < 1:
+            raise TuningConfigError("max_shards must be >= 1")
+        if not (
+            self.enable_index_park
+            or self.enable_preset_swap
+            or self.enable_cache_tuning
+            or self.enable_reshard
+        ):
+            raise TuningConfigError(
+                "every action family is disarmed; the advisor could "
+                "never act"
+            )

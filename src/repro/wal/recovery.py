@@ -100,6 +100,11 @@ def recover_database(db: Database) -> "tuple[Database, RecoveryReport]":
                     )
                 elif entry[0] == "enable_budget_arbiter":
                     new_db.enable_budget_arbiter(entry[1], **entry[2])
+                elif entry[0] == "enable_self_tuning":
+                    # The advisor's learned windows are volatile; the
+                    # recovered database restarts the loop fresh under
+                    # the same configuration.
+                    new_db.enable_self_tuning(entry[1])
 
             # 2. Snapshot restore: checkpoint rows back into place,
             # then back-fill the (empty) indexes from them.

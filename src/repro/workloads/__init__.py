@@ -8,6 +8,9 @@
 * :mod:`repro.workloads.iotta` — a synthetic equivalent of the SNIA
   IOTTA object-storage log trace (sections 1 and 6.3), including the
   daily volume spikes of Figure 1.
+* :mod:`repro.workloads.scenarios` — the five-scenario adversarial
+  pack for the self-tuning advisor (phased workloads where no static
+  configuration is right for the whole run).
 """
 
 from repro.workloads.distributions import (
@@ -22,6 +25,12 @@ from repro.workloads.ycsb import (
     YCSBRunner,
 )
 from repro.workloads.iotta import IottaTraceGenerator, LogRow
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    IndexSpec,
+    Scenario,
+    build_scenarios,
+)
 
 __all__ = [
     "UniformGenerator",
@@ -33,4 +42,8 @@ __all__ = [
     "YCSBRunner",
     "IottaTraceGenerator",
     "LogRow",
+    "SCENARIOS",
+    "IndexSpec",
+    "Scenario",
+    "build_scenarios",
 ]

@@ -1,0 +1,385 @@
+"""Adversarial scenario pack for the self-tuning advisor.
+
+Five deterministic, phased workloads, each constructed so that **no
+single static configuration is right for the whole run** — the gap a
+closed-loop tuner exists to close:
+
+* ``noisy_neighbor`` — a multi-tenant table where tenant B's index is
+  write-only for most of the run (park it) but queried late (unpark).
+* ``diurnal`` — the Figure 1 object-store trace: spiky daily ingest
+  with interleaved timestamp scans, and a per-object audit index
+  touched only on rare audit days.
+* ``hotspot_migration`` — a uniform read/scan phase (cache budget is
+  wasted bytes stolen from the leaves) migrating mid-run to a small
+  hot set (cache budget is the whole game).
+* ``anti_zipf_churn`` — batched sorted-probe sweeps (the forced-learned
+  lattice wins) alternating with insert churn (retrains make learned
+  leaves a liability; the paper lattice wins).
+* ``bulk_load_then_scan`` — a long bulk load where the secondary index
+  is dead weight, then a read phase over it: one deferred bulk rebuild
+  beats incremental maintenance.
+
+Each scenario is a flat deterministic op stream (seeded RNG, no wall
+clock) over one table, replayed verbatim by
+:mod:`repro.bench.selftune` against a self-tuned arm and a swept grid
+of static configurations at equal total memory.  Indexes a phase keeps
+*live* get reads interleaved into their ingest (as real tenants do) —
+an index that is genuinely written-and-read all day is not a parking
+candidate, and the stream says so.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.iotta import IottaTraceGenerator
+
+#: Op tuple shapes the scenario runner understands:
+#:   ("insert_batch", [row, ...])
+#:   ("insert", row)
+#:   ("get", index_name, [value, ...])
+#:   ("get_batch", index_name, [[value, ...], ...])
+#:   ("scan", index_name, [value, ...], count)
+Op = Tuple
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """One secondary index a scenario asks the runner to create."""
+
+    name: str
+    columns: Tuple[str, ...]
+    cached: bool = False
+    share: float = 1.0
+
+
+@dataclass
+class Scenario:
+    """A deterministic phased workload plus its tuning-loop knobs."""
+
+    name: str
+    title: str
+    columns: Tuple[str, ...]
+    widths: Tuple[int, ...]
+    indexes: Tuple[IndexSpec, ...]
+    ops: List[Op]
+    #: Per-index soft bound as a fraction of the loaded keys' measured
+    #: STX footprint — <0.62 puts the lattice under real pressure.
+    bound_fraction: float = 0.9
+    #: Row count the bound is computed against; ``None`` means
+    #: :attr:`total_rows`.  Growth scenarios pin this to the phase the
+    #: bound should be calibrated for instead of the final table size.
+    bound_rows: int | None = None
+    arbiter_interval: int = 256
+    tuning_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_rows(self) -> int:
+        rows = 0
+        for op in self.ops:
+            if op[0] == "insert_batch":
+                rows += len(op[1])
+            elif op[0] == "insert":
+                rows += 1
+        return rows
+
+
+def _chunk(rows: Sequence, size: int) -> List[Op]:
+    return [
+        ("insert_batch", list(rows[i:i + size]))
+        for i in range(0, len(rows), size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. Multi-tenant noisy neighbor
+# ----------------------------------------------------------------------
+def noisy_neighbor(scale: int = 1, seed: int = 0xA11CE) -> Scenario:
+    """Tenant A reads its index constantly; tenant B's index is
+    write-only until a late burst of queries."""
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    rows = [(i, rng.randrange(1 << 40)) for i in range(512)]
+    aux_seen = [aux for _, aux in rows]
+    next_k = len(rows)
+    for chunk in _chunk(rows, 128):
+        ops.append(chunk)
+        # Tenant A queries throughout the load, too.
+        for _ in range(16):
+            ops.append(("get", "by_k", [rng.randrange(next_k)]))
+    for _ in range(28 * scale):
+        fresh = [
+            (next_k + i, rng.randrange(1 << 40)) for i in range(128)
+        ]
+        next_k += len(fresh)
+        aux_seen.extend(aux for _, aux in fresh)
+        ops.extend(_chunk(fresh, 128))
+        ops.append(("get_batch", "by_k", [
+            [rng.randrange(next_k)] for _ in range(16)
+        ]))
+        for _ in range(64):
+            ops.append(("get", "by_k", [rng.randrange(next_k)]))
+    # Late tenant-B burst: the parked index must come back correct.
+    for _ in range(3 * scale):
+        ops.append(("get_batch", "by_aux", [
+            [rng.choice(aux_seen)] for _ in range(32)
+        ]))
+    return Scenario(
+        name="noisy_neighbor",
+        title="Multi-tenant noisy neighbor",
+        columns=("k", "aux"),
+        widths=(8, 8),
+        indexes=(
+            IndexSpec("by_k", ("k",)),
+            IndexSpec("by_aux", ("aux",)),
+        ),
+        ops=ops,
+        arbiter_interval=256,
+        tuning_kwargs=dict(payback_window_ops=2048),
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Diurnal volume (the Figure 1 trace)
+# ----------------------------------------------------------------------
+def diurnal(scale: int = 1, seed: int = 0xF161) -> Scenario:
+    """Figure 1's spiky daily ingest with timestamp scans interleaved
+    through the day, and a per-object index audited only rarely."""
+    rng = random.Random(seed)
+    trace = IottaTraceGenerator(
+        base_rows_per_day=384 * scale, days=10,
+        object_universe=4000 * scale, seed=seed,
+    )
+    ops: List[Op] = []
+    recent: List[Tuple[int, int]] = []  # (obj, ts) audit probes
+    for day in range(trace.days):
+        day_rows = [
+            (row.timestamp, row.object_id, row.op_type, row.size)
+            for row in trace.rows_for_day(day)
+        ]
+        recent.extend(
+            (row[1], row[0])
+            for row in day_rows[:: max(1, len(day_rows) // 16)]
+        )
+        for start in range(0, len(day_rows), 128):
+            ops.append(("insert_batch", day_rows[start:start + 128]))
+            # Monitoring dashboards follow the ingest all day: recent-
+            # window scans land between chunks, keeping by_ts live.
+            for _ in range(2):
+                ts, obj, _, _ = rng.choice(day_rows[:start + 128])
+                ops.append(("scan", "by_ts", [ts, obj], 24))
+        for _ in range(16):
+            ts, obj, _, _ = rng.choice(day_rows)
+            ops.append(("scan", "by_ts", [ts, obj], 24))
+        if day % 5 == 4:
+            # Audit day: the per-object index finally gets queried.
+            ops.append(("get_batch", "by_obj", [
+                list(rng.choice(recent)) for _ in range(48)
+            ]))
+    return Scenario(
+        name="diurnal",
+        title="Diurnal volume (fig. 1 trace)",
+        columns=("ts", "obj", "op", "size"),
+        widths=(8, 8, 8, 8),
+        indexes=(
+            IndexSpec("by_ts", ("ts", "obj")),
+            IndexSpec("by_obj", ("obj", "ts")),
+        ),
+        ops=ops,
+        arbiter_interval=256,
+        tuning_kwargs=dict(payback_window_ops=2048),
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Mid-run hotspot migration
+# ----------------------------------------------------------------------
+def hotspot_migration(scale: int = 1, seed: int = 0x807) -> Scenario:
+    """The access pattern migrates mid-run: phase A spreads uniform
+    reads over ``by_k`` *and* a second index ``by_aux``; phase B
+    collapses onto a 96-key hot set on ``by_k`` alone, write-heavy,
+    with ``by_aux`` never read again.  No static arm can both carry
+    the big cache for phase B and skip ``by_aux``'s phase-B
+    maintenance — the advisor does both (``move_cache`` up at the
+    flip, ``park_index`` on the abandoned index)."""
+    rng = random.Random(seed)
+    n = 1024
+    rows = [(i, i * 3 + 1, i * 7 + 3) for i in range(n)]
+    ops: List[Op] = []
+    for chunk in _chunk(rows, 128):
+        ops.append(chunk)
+        for _ in range(16):
+            ops.append(("get", "by_k", [rng.randrange(n)]))
+    next_k = n
+
+    def fresh_rows(count: int) -> List[Tuple[int, int, int]]:
+        nonlocal next_k
+        batch = [
+            (next_k + i, i, (next_k + i) * 7 + 3) for i in range(count)
+        ]
+        next_k += count
+        return batch
+
+    # Phase A: uniform point reads on both indexes plus scans — every
+    # index earns its keep, no cache budget level is clearly right.
+    for _ in range(10 * scale):
+        for _ in range(16):
+            ops.append(("get", "by_k", [rng.randrange(n)]))
+        for _ in range(16):
+            ops.append(("get", "by_aux", [rng.randrange(n) * 7 + 3]))
+        for _ in range(24):
+            ops.append(("scan", "by_k", [rng.randrange(n)], 16))
+        ops.extend(_chunk(fresh_rows(16), 16))
+    # Phase B: the hotspot migrates to 96 keys on by_k, writes pick up,
+    # and by_aux goes permanently idle.
+    hot = sorted(rng.sample(range(n), 96))
+    for _ in range(12 * scale):
+        for _ in range(256):
+            ops.append(("get", "by_k", [rng.choice(hot)]))
+        ops.extend(_chunk(fresh_rows(128), 32))
+    return Scenario(
+        name="hotspot_migration",
+        title="Mid-run hotspot migration",
+        columns=("k", "v", "a"),
+        widths=(8, 8, 8),
+        indexes=(
+            IndexSpec("by_k", ("k",), cached=True),
+            IndexSpec("by_aux", ("a",)),
+        ),
+        ops=ops,
+        bound_fraction=0.55,
+        arbiter_interval=256,
+        tuning_kwargs=dict(
+            payback_window_ops=4096,
+            enable_preset_swap=False,
+            cache_fractions=(0.04, 0.35),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. Anti-zipf churn vs. sorted probes
+# ----------------------------------------------------------------------
+def anti_zipf_churn(scale: int = 1, seed: int = 0xC0DE) -> Scenario:
+    """Insert churn (retrains make learned leaves a liability), then
+    exhaustive batched sorted-probe sweeps over *every* live key (the
+    forced-learned lattice wins — the sweep is anti-zipf, so no hot
+    subset exists the elastic controller could keep expanded), then a
+    second, heavier churn phase."""
+    rng = random.Random(seed)
+    n = 2048
+    rows = [(i * 7, i) for i in range(n)]
+    live = [k for k, _ in rows]
+    ops: List[Op] = []
+    for chunk in _chunk(rows, 256):
+        ops.append(chunk)
+        for _ in range(8):
+            ops.append(("get", "by_k", [live[rng.randrange(len(live))]]))
+    next_i = n
+
+    def churn_phase(batches: int) -> None:
+        nonlocal next_i
+        for b in range(batches):
+            fresh = [
+                (rng.randrange(1 << 40) | 1, next_i + j)
+                for j in range(64)
+            ]
+            next_i += len(fresh)
+            live.extend(k for k, _ in fresh)
+            ops.append(("insert_batch", fresh))
+            if b % 4 == 3:
+                for _ in range(8):
+                    ops.append(
+                        ("get", "by_k", [live[rng.randrange(len(live))]])
+                    )
+        live.sort()
+
+    def probe_phase(passes: int) -> None:
+        # Full sorted sweeps over the whole live keyspace in 64-key
+        # batches: uniform coverage means the tree cannot afford to
+        # keep the probed leaves expanded — the leaf representation
+        # itself carries the probe cost.
+        sweep = sorted(live)
+        for _ in range(passes):
+            for s in range(0, len(sweep), 64):
+                ops.append(("get_batch", "by_k", [
+                    [k] for k in sweep[s:s + 64]
+                ]))
+
+    churn_phase(93)
+    probe_phase(12 * scale)
+    churn_phase(156 * scale)
+    return Scenario(
+        name="anti_zipf_churn",
+        title="Anti-zipf churn vs. sorted probes",
+        columns=("k", "v"),
+        widths=(8, 8),
+        indexes=(IndexSpec("by_k", ("k",)),),
+        ops=ops,
+        bound_fraction=0.42,
+        bound_rows=8000,
+        arbiter_interval=256,
+        tuning_kwargs=dict(
+            payback_window_ops=24576,
+            enable_cache_tuning=False,
+            enable_index_park=False,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# 5. Bulk load, then scan
+# ----------------------------------------------------------------------
+def bulk_load_then_scan(scale: int = 1, seed: int = 0xB07) -> Scenario:
+    """A long bulk load (the secondary index is pure maintenance cost)
+    followed by a read phase over it: one deferred bulk rebuild versus
+    incremental upkeep."""
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    next_k = 0
+    aux_seen: List[int] = []
+    for _ in range(24 * scale):
+        fresh = [
+            (next_k + i, rng.randrange(1 << 40)) for i in range(256)
+        ]
+        next_k += len(fresh)
+        aux_seen.extend(aux for _, aux in fresh)
+        ops.extend(_chunk(fresh, 128))
+        ops.append(("get_batch", "by_k", [
+            [rng.randrange(next_k)] for _ in range(24)
+        ]))
+    for _ in range(10 * scale):
+        ops.append(("get_batch", "by_aux", [
+            [rng.choice(aux_seen)] for _ in range(48)
+        ]))
+        ops.append(("scan", "by_aux", [rng.choice(aux_seen)], 16))
+    return Scenario(
+        name="bulk_load_then_scan",
+        title="Bulk load, then scan",
+        columns=("k", "aux"),
+        widths=(8, 8),
+        indexes=(
+            IndexSpec("by_k", ("k",)),
+            IndexSpec("by_aux", ("aux",)),
+        ),
+        ops=ops,
+        arbiter_interval=256,
+        tuning_kwargs=dict(payback_window_ops=4096),
+    )
+
+
+#: The pack, in presentation order.
+SCENARIOS = {
+    "noisy_neighbor": noisy_neighbor,
+    "diurnal": diurnal,
+    "hotspot_migration": hotspot_migration,
+    "anti_zipf_churn": anti_zipf_churn,
+    "bulk_load_then_scan": bulk_load_then_scan,
+}
+
+
+def build_scenarios(scale: int = 1) -> List[Scenario]:
+    """Materialize the whole pack at ``scale``."""
+    return [factory(scale=scale) for factory in SCENARIOS.values()]

@@ -58,12 +58,12 @@ class TestBuildReport:
 
 class TestPerfTrajectory:
     def test_committed_baselines_render_complete_table(self):
-        # Against the real repo root: all eight baselines are committed,
+        # Against the real repo root: all nine baselines are committed,
         # so no row may be missing and every saving must be positive.
         text = perf_trajectory()
         lines = text.split("\n")
         assert lines[0].startswith("| baseline | mechanism |")
-        assert len(lines) == 2 + 8  # header + divider + eight baselines
+        assert len(lines) == 2 + 9  # header + divider + nine baselines
         assert "missing" not in text
         for line in lines[2:]:
             saving = line.rsplit("|", 2)[-2].strip()
@@ -73,12 +73,13 @@ class TestPerfTrajectory:
         assert "learned leaves (3-way lattice)" in text
         assert "divergent replica routing" in text
         assert "group-committed WAL" in text
+        assert "online self-tuning advisor" in text
 
     def test_missing_and_partial_baselines_get_missing_rows(self, tmp_path):
         # An empty root: every row degrades to "missing", none dropped.
         text = perf_trajectory(repo_root=str(tmp_path))
         lines = text.split("\n")
-        assert len(lines) == 2 + 8
+        assert len(lines) == 2 + 9
         assert all("missing" in line for line in lines[2:])
         # A baseline with one metric absent is partial, not a KeyError.
         (tmp_path / "BENCH_mlp.json").write_text(

@@ -1,0 +1,96 @@
+"""Shape and determinism smoke tests for the adversarial scenario pack.
+
+The pack's *performance* claim (self-tuned dominates every static arm)
+is gated by ``BENCH_selftune.json``; these tests pin the cheaper
+invariants every gate run silently relies on: each scenario is
+well-formed (op shapes the runner understands, index references that
+exist, consistent row widths), deterministic across builds, and scales
+its op stream with ``scale``.
+"""
+
+import pytest
+
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    IndexSpec,
+    Scenario,
+    build_scenarios,
+)
+
+#: Op shapes accepted by repro.bench.selftune._replay.
+VALID_OP_KINDS = {"insert_batch", "insert", "get", "get_batch", "scan"}
+
+
+@pytest.fixture(scope="module")
+def pack():
+    return build_scenarios(scale=1)
+
+
+def test_pack_has_all_five_scenarios(pack):
+    assert len(pack) == 5
+    assert {s.name for s in pack} == set(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_shape(name):
+    scenario = SCENARIOS[name](scale=1)
+    assert isinstance(scenario, Scenario)
+    assert scenario.title
+    assert len(scenario.columns) == len(scenario.widths)
+    assert scenario.indexes, "a tuning scenario needs indexes to tune"
+    index_names = set()
+    for spec in scenario.indexes:
+        assert isinstance(spec, IndexSpec)
+        assert set(spec.columns) <= set(scenario.columns)
+        assert spec.share > 0
+        index_names.add(spec.name)
+    assert scenario.total_rows > 0
+    assert 0 < scenario.bound_fraction <= 1
+    assert scenario.arbiter_interval >= 1
+    if scenario.bound_rows is not None:
+        assert 0 < scenario.bound_rows <= scenario.total_rows
+    n_columns = len(scenario.columns)
+    for op in scenario.ops:
+        kind = op[0]
+        assert kind in VALID_OP_KINDS, f"unknown op {kind!r}"
+        if kind == "insert_batch":
+            assert op[1], "empty insert batch"
+            assert all(len(row) == n_columns for row in op[1])
+        elif kind == "insert":
+            assert len(op[1]) == n_columns
+        elif kind in ("get", "scan"):
+            assert op[1] in index_names
+            assert op[2], "empty key values"
+        elif kind == "get_batch":
+            assert op[1] in index_names
+            assert op[2], "empty key batch"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_is_deterministic(name):
+    a = SCENARIOS[name](scale=1)
+    b = SCENARIOS[name](scale=1)
+    assert a.ops == b.ops
+    assert a.indexes == b.indexes
+    assert a.tuning_kwargs == b.tuning_kwargs
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_scales_op_stream(name):
+    small = SCENARIOS[name](scale=1)
+    large = SCENARIOS[name](scale=2)
+    assert len(large.ops) > len(small.ops)
+    # The knobs are scale-invariant: the gate sweeps scale without
+    # re-tuning thresholds.
+    assert large.arbiter_interval == small.arbiter_interval
+    assert large.tuning_kwargs == small.tuning_kwargs
+
+
+def test_every_scenario_interleaves_reads_and_writes(pack):
+    """The pack's design contract: phased read/write mixes, so a
+    static configuration is wrong somewhere.  A write-only or
+    read-only stream could be statically optimal."""
+    for scenario in pack:
+        kinds = {op[0] for op in scenario.ops}
+        assert kinds & {"insert", "insert_batch"}, scenario.name
+        assert kinds & {"get", "get_batch", "scan"}, scenario.name

@@ -1,0 +1,128 @@
+"""Composed inspection tooling over one fully-loaded database.
+
+One :class:`~repro.db.database.Database` runs every subsystem at once —
+a replicated index (cluster tier), a WAL (durability tier), a budget
+arbiter and the self-tuning advisor (tuning tier) — and the three
+summary tools each render their own slice of it without stepping on
+each other.  This is the operator's view: ``cluster_summary`` +
+``wal_summary`` + ``tuning_summary`` concatenated into one status
+report, all fed from the same live object graph.
+"""
+
+import pytest
+
+from repro.cluster import ReplicaConfig, preset_profile
+from repro.db.database import Database
+from repro.table.table import RowSchema
+from repro.tools import cluster_summary, tuning_summary, wal_summary
+from repro.tuning import TuningConfig
+from repro.wal import WalConfig
+
+
+@pytest.fixture()
+def loaded_db():
+    """Replicated + WAL-backed + self-tuned database, after a workload
+    that makes every summary non-trivial (actions fired, records
+    committed, replicas routed)."""
+    db = Database(wal=WalConfig(group_size=8))
+    table = db.create_table(RowSchema("t", ("k", "v"), (8, 8)))
+    db.enable_budget_arbiter(300_000, interval_ops=64)
+    table.create_index(
+        "by_k", ("k",), kind="elastic",
+        replicas=ReplicaConfig(
+            replicas=3,
+            profiles=(
+                preset_profile("lattice", weight=0.5),
+                preset_profile("cache", weight=0.3),
+                preset_profile("compact", weight=0.2),
+            ),
+            total_bound_bytes=120_000,
+        ),
+    )
+    table.create_index(
+        "by_aux", ("v",), kind="elastic", size_bound_bytes=60_000,
+    )
+    db.enable_self_tuning(TuningConfig(
+        payback_window_ops=1 << 16,
+        idle_windows_to_park=2,
+        history_windows=2,
+        min_window_ops=8,
+        hysteresis_ticks=0,
+        enable_preset_swap=False,
+        enable_cache_tuning=False,
+        enable_reshard=False,
+    ))
+    table.insert_batch([(i, i * 3 + 1) for i in range(256)])
+    # by_k stays read-live (the replicated index routes queries);
+    # by_aux is write-only, so the advisor parks it.
+    n = 0
+    for _ in range(8):
+        table.insert_batch(
+            [(1000 + n + i, (1000 + n + i) * 3 + 1) for i in range(48)]
+        )
+        n += 48
+        for i in range(16):
+            table.get("by_k", (1000 + (n - 48) + i,))
+    return db, table
+
+
+def test_each_summary_renders_its_subsystem(loaded_db):
+    db, table = loaded_db
+
+    cluster = cluster_summary(table.indexes["by_k"].index)
+    for label in ("lattice", "cache", "compact", "bound share"):
+        assert label in cluster
+
+    wal = wal_summary(db)
+    assert "wal:" in wal and "records" in wal
+    assert "not configured" not in wal
+
+    tuning = tuning_summary(db)
+    assert "tuning:" in tuning and "(not enabled)" not in tuning
+    assert "park_index" in tuning
+    assert "t.by_aux" in tuning  # the parked list names the victim
+
+
+def test_composed_report_covers_all_three_tiers(loaded_db):
+    """The operator's one-screen status: all three summaries composed
+    from the same database, no summary perturbed by the others."""
+    db, table = loaded_db
+    report = "\n\n".join([
+        cluster_summary(table.indexes["by_k"].index),
+        wal_summary(db),
+        tuning_summary(db),
+    ])
+    # One line each from every tier, all present in one document.
+    assert "replica" in report       # cluster table header
+    assert "durable" in report       # WAL watermark block
+    assert "actions applied" in report  # tuning loop block
+    # Composing the report is read-only: render twice, same text.
+    again = "\n\n".join([
+        cluster_summary(table.indexes["by_k"].index),
+        wal_summary(db),
+        tuning_summary(db),
+    ])
+    assert report == again
+
+
+def test_summaries_degrade_gracefully_on_plain_db():
+    """The same three calls on a bare database answer politely instead
+    of raising — tooling composes over any configuration."""
+    db = Database()
+    table = db.create_table(RowSchema("t", ("k", "v"), (8, 8)))
+    secondary = table.create_index("by_k", ("k",))
+    assert "replica" in cluster_summary(secondary.index)
+    assert "not configured" in wal_summary(db)
+    assert "not enabled" in tuning_summary(db)
+
+
+def test_parked_index_still_queryable_alongside_replicas(loaded_db):
+    """Cross-tier correctness: unparking by_aux (tuning tier) must not
+    disturb the replicated by_k (cluster tier) or the WAL stream."""
+    db, table = loaded_db
+    assert "t.by_aux" in db.advisor.parked_indexes()
+    key = 1000
+    assert table.get("by_aux", (key * 3 + 1,)) == (key, key * 3 + 1)
+    assert db.advisor.parked_indexes() == []
+    assert table.get("by_k", (key,)) == (key, key * 3 + 1)
+    assert "t.by_aux" not in tuning_summary(db).split("parked:")[1]

@@ -1,0 +1,362 @@
+"""Tests for the online self-tuning advisor (closed-loop tuning).
+
+Unit-level coverage of the loop's contracts: typed configuration
+validation, the park/unpark roundtrip through the public read/write
+surface, in-place lattice retargeting, what-if payback gating, the
+single shared op-boundary clock, the advisor-off zero-overhead
+identity, and DDL replay of ``enable_self_tuning`` through crash
+recovery.  The end-to-end dominance claim (self-tuned beats every
+static arm on the five adversarial scenarios) lives in the
+``BENCH_selftune.json`` regression gate, not here.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.config import ElasticConfig
+from repro.btree.stats import collect_stats
+from repro.cache.cache import CacheConfig
+from repro.db.database import Database
+from repro.errors import TuningConfigError
+from repro.table.table import RowSchema
+from repro.tools import tuning_summary
+from repro.tuning import SelfTuningAdvisor, TuningConfig
+from repro.tuning.config import PRESET_LATTICES
+from repro.wal import WalConfig, recover_database, state_digest
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def make_db(interval_ops=64, total_bytes=200_000, indexes=(("by_k", ("k",)),),
+            index_kwargs=None, wal=None):
+    """One-table database with a budget arbiter; rows are (k, v) u64."""
+    db = Database(wal=wal)
+    table = db.create_table(RowSchema("t", ("k", "v"), (8, 8)))
+    db.enable_budget_arbiter(total_bytes, interval_ops=interval_ops)
+    per_index = total_bytes // max(1, len(indexes))
+    for name, columns in indexes:
+        table.create_index(
+            name, columns, kind="elastic", size_bound_bytes=per_index,
+            **(index_kwargs or {}),
+        )
+    return db, table
+
+
+def rows_u64(n, start=0):
+    return [(start + i, (start + i) * 3 + 1) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# TuningConfig validation
+# ----------------------------------------------------------------------
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        TuningConfig().validate()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(sample_size=4),
+        dict(advisor_fee_units=-1.0),
+        dict(hysteresis_ticks=-1),
+        dict(payback_window_ops=0),
+        dict(idle_windows_to_park=0),
+        dict(min_window_ops=0),
+        dict(improvement_fraction=1.0),
+        dict(improvement_fraction=-0.1),
+        dict(history_windows=1, idle_windows_to_park=3),
+        dict(cache_fractions=()),
+        dict(cache_fractions=(0.1, 1.5)),
+        dict(presets={}),
+        dict(max_shards=0),
+        dict(enable_index_park=False, enable_preset_swap=False,
+             enable_cache_tuning=False, enable_reshard=False),
+    ])
+    def test_impossible_configs_raise_typed_error(self, kwargs):
+        with pytest.raises(TuningConfigError):
+            TuningConfig(**kwargs).validate()
+
+    def test_disarmed_families_skip_their_ladder_checks(self):
+        # An empty cache ladder is fine when cache tuning is disarmed.
+        TuningConfig(cache_fractions=(), enable_cache_tuning=False).validate()
+        TuningConfig(presets={}, enable_preset_swap=False).validate()
+
+
+# ----------------------------------------------------------------------
+# enable_self_tuning wiring
+# ----------------------------------------------------------------------
+
+class TestEnableSelfTuning:
+    def test_requires_budget_arbiter_first(self):
+        db = Database()
+        with pytest.raises(TuningConfigError):
+            db.enable_self_tuning()
+
+    def test_double_enable_raises(self):
+        db, _ = make_db()
+        db.enable_self_tuning()
+        with pytest.raises(TuningConfigError):
+            db.enable_self_tuning()
+
+    def test_invalid_config_rejected_at_enable_time(self):
+        db, _ = make_db()
+        with pytest.raises(TuningConfigError):
+            db.enable_self_tuning(TuningConfig(sample_size=2))
+        assert db.advisor is None
+
+    def test_enable_returns_advisor_and_sets_attribute(self):
+        db, _ = make_db()
+        advisor = db.enable_self_tuning()
+        assert advisor is db.advisor
+        assert isinstance(advisor, SelfTuningAdvisor)
+
+    def test_advisor_rides_arbiter_clock_single_tick(self):
+        """One arbiter interval == one advisor tick: the advisor has no
+        op counter of its own, so enabling it never double-advances the
+        shared ``_ops_since`` accumulator (the one-clock regression)."""
+        db, table = make_db(interval_ops=64)
+        advisor = db.enable_self_tuning()
+        table.insert_batch(rows_u64(63))
+        assert advisor.stats.ticks == 0
+        table.insert_batch(rows_u64(1, start=63))
+        assert advisor.stats.ticks == 1
+        # Reads drive the same clock.
+        for i in range(63):
+            table.get("by_k", (i,))
+        assert advisor.stats.ticks == 1
+        table.get("by_k", (63,))
+        assert advisor.stats.ticks == 2
+
+
+# ----------------------------------------------------------------------
+# park / unpark roundtrip
+# ----------------------------------------------------------------------
+
+def park_tuning_config():
+    """Aggressive parking thresholds for small test tables."""
+    return TuningConfig(
+        payback_window_ops=1 << 16,
+        idle_windows_to_park=2,
+        history_windows=2,
+        min_window_ops=8,
+        hysteresis_ticks=0,
+        enable_preset_swap=False,
+        enable_cache_tuning=False,
+        enable_reshard=False,
+    )
+
+
+def drive_park(db, table, rounds=8):
+    """Write-only rounds on by_aux; by_k stays read-live."""
+    n = 0
+    for _ in range(rounds):
+        table.insert_batch(rows_u64(48, start=1000 + n))
+        n += 48
+        for i in range(16):
+            table.get("by_k", (1000 + (n - 48) + i,))
+    return n
+
+
+class TestParkUnpark:
+    def test_park_then_read_unparks_with_correct_results(self):
+        db, table = make_db(
+            interval_ops=64,
+            indexes=(("by_k", ("k",)), ("by_aux", ("v",))),
+        )
+        advisor = db.enable_self_tuning(park_tuning_config())
+        table.insert_batch(rows_u64(256))
+        drive_park(db, table)
+        assert advisor.stats.actions_by_family.get("park_index", 0) >= 1
+        assert "t.by_aux" in advisor.parked_indexes()
+        # Writes against a parked index are skipped (and counted).
+        skipped_before = advisor.stats.parked_writes_skipped
+        table.insert_batch(rows_u64(32, start=5000))
+        assert advisor.stats.parked_writes_skipped > skipped_before
+        # The first read unparks: rebuilt from the live table, so it
+        # serves rows inserted while parked.
+        row = table.get("by_aux", (5003 * 3 + 1,))
+        assert row == (5003, 5003 * 3 + 1)
+        assert advisor.parked_indexes() == []
+        assert advisor.stats.actions_by_family.get("unpark_index", 0) == 1
+
+    def test_read_live_index_never_parks(self):
+        db, table = make_db(
+            interval_ops=64,
+            indexes=(("by_k", ("k",)), ("by_aux", ("v",))),
+        )
+        advisor = db.enable_self_tuning(park_tuning_config())
+        table.insert_batch(rows_u64(256))
+        # Interleave by_aux reads into every round: never idle.
+        n = 0
+        for _ in range(8):
+            table.insert_batch(rows_u64(48, start=1000 + n))
+            n += 48
+            for i in range(8):
+                key = 1000 + (n - 48) + i
+                assert table.get("by_aux", (key * 3 + 1,)) is not None
+        # by_k, never read in this variant, is fair game — but the
+        # read-live by_aux must never be parked.
+        assert "t.by_aux" not in advisor.parked_indexes()
+
+    def test_park_respects_payback_gate(self):
+        """A one-op payback horizon can never amortize a rebuild, so
+        the park candidate must not fire."""
+        config = park_tuning_config()
+        config.payback_window_ops = 1
+        db, table = make_db(
+            interval_ops=64,
+            indexes=(("by_k", ("k",)), ("by_aux", ("v",))),
+        )
+        advisor = db.enable_self_tuning(config)
+        table.insert_batch(rows_u64(256))
+        drive_park(db, table)
+        assert advisor.stats.actions_by_family.get("park_index", 0) == 0
+        assert advisor.parked_indexes() == []
+
+
+# ----------------------------------------------------------------------
+# In-place lattice retarget (the swap_preset apply primitive)
+# ----------------------------------------------------------------------
+
+class TestRetargetLattice:
+    def make_pressured_elastic(self):
+        from tests.test_elastic import fill, make_elastic
+        from tests.conftest import U64Source
+
+        source = U64Source()
+        tree = make_elastic(source, size_bound=40_000)
+        fill(tree, source, 5000, shuffle_seed=7)
+        assert collect_stats(tree).compact_leaf_count > 0
+        return source, tree
+
+    def test_retarget_migrates_only_out_of_lattice_leaves(self):
+        source, tree = self.make_pressured_elastic()
+        before = collect_stats(tree)
+        migrated = tree.controller.retarget_lattice(
+            dict(PRESET_LATTICES["learned"])
+        )
+        assert migrated == before.compact_leaf_count
+        after = collect_stats(tree)
+        assert after.compact_leaf_count == 0
+        assert after.learned_leaf_count >= migrated
+        # Standard leaves and the tree shape are untouched.
+        assert after.leaf_count == before.leaf_count
+        tree.check_elastic_invariants()
+
+    def test_retarget_to_superset_lattice_is_free(self):
+        source, tree = self.make_pressured_elastic()
+        migrated = tree.controller.retarget_lattice(
+            {"leaf_kinds": ("standard", "compact", "learned")}
+        )
+        assert migrated == 0
+
+    def test_lookups_correct_after_retarget(self):
+        from repro.keys.encoding import encode_u64
+
+        source, tree = self.make_pressured_elastic()
+        tree.controller.retarget_lattice(dict(PRESET_LATTICES["learned"]))
+        for v in (0, 1, 999, 2500, 4999):
+            assert tree.lookup(encode_u64(v)) is not None
+
+
+# ----------------------------------------------------------------------
+# Probe accounting: fees billed, probes rebated
+# ----------------------------------------------------------------------
+
+class TestProbeAccounting:
+    def test_fee_billed_per_candidate_scored(self):
+        db, table = make_db(
+            interval_ops=64,
+            indexes=(("by_k", ("k",)), ("by_aux", ("v",))),
+        )
+        config = park_tuning_config()
+        config.advisor_fee_units = 3.0
+        advisor = db.enable_self_tuning(config)
+        table.insert_batch(rows_u64(256))
+        drive_park(db, table, rounds=4)
+        assert advisor.stats.candidates_scored > 0
+        assert advisor.stats.probe_fee_units == pytest.approx(
+            3.0 * advisor.stats.candidates_scored
+        )
+
+    def test_summary_renders_loop_state(self):
+        db, table = make_db(
+            interval_ops=64,
+            indexes=(("by_k", ("k",)), ("by_aux", ("v",))),
+        )
+        db.enable_self_tuning(park_tuning_config())
+        table.insert_batch(rows_u64(256))
+        drive_park(db, table)
+        text = tuning_summary(db)
+        assert "tuning:" in text and "candidates" in text
+        assert "park_index" in text
+        assert "parked:" in text
+
+    def test_summary_without_advisor(self):
+        db, _ = make_db()
+        assert tuning_summary(db) == "tuning: (not enabled)"
+
+
+# ----------------------------------------------------------------------
+# Zero-overhead identity
+# ----------------------------------------------------------------------
+
+def run_untuned_workload(observed: bool) -> float:
+    was_enabled = obs.is_enabled()
+    obs.set_enabled(observed)
+    try:
+        db, table = make_db(interval_ops=64)
+        with db.cost.measure() as delta:
+            table.insert_batch(rows_u64(512))
+            for i in range(0, 512, 7):
+                table.get("by_k", (i,))
+            table.scan("by_k", (100,), count=32)
+        return delta.weighted_cost()
+    finally:
+        obs.set_enabled(was_enabled)
+
+
+class TestZeroOverhead:
+    def test_advisor_off_costs_unchanged_by_observability(self):
+        """The advisor's observation plane is cost-model-silent: the
+        same untuned workload prices identically with the obs bus on
+        and off (the contract every BENCH baseline's enabled-replay
+        check enforces end to end)."""
+        assert run_untuned_workload(False) == run_untuned_workload(True)
+
+    def test_untuned_runs_are_deterministic(self):
+        assert run_untuned_workload(False) == run_untuned_workload(False)
+
+
+# ----------------------------------------------------------------------
+# Recovery replay of enable_self_tuning
+# ----------------------------------------------------------------------
+
+class TestRecoveryReplay:
+    def test_self_tuning_survives_crash_recovery(self):
+        # Reads are not WAL-logged, so recovery replays a write-only
+        # stream; a trigger-happy config could legitimately tune the
+        # replayed database differently than the original.  Starve the
+        # decision gate (min_window_ops above any window) so both
+        # advisors stay quiescent and the digests must match — this
+        # test is about the DDL replay, not the tuning policy.
+        config = park_tuning_config()
+        config.min_window_ops = 1 << 20
+        db, table = make_db(interval_ops=64, wal=WalConfig(group_size=8))
+        db.enable_self_tuning(config)
+        table.insert_batch(rows_u64(128))
+        db.wal.flush()
+        recovered, report = recover_database(db)
+        assert recovered.advisor is not None
+        assert recovered.arbiter is not None
+        assert (
+            recovered.advisor.config.payback_window_ops
+            == db.advisor.config.payback_window_ops
+        )
+        assert state_digest(recovered) == state_digest(db)
+        # The recovered loop is live: its advisor ticks on the arbiter
+        # clock like the original's.
+        rtable = recovered.tables["t"]
+        rtable.insert_batch(rows_u64(64, start=10_000))
+        assert recovered.advisor.stats.ticks >= 1
